@@ -1,0 +1,418 @@
+// Package zatel_test hosts the benchmark harness that regenerates every
+// table and figure of the paper's evaluation (see DESIGN.md for the
+// experiment index). Each benchmark wraps the corresponding driver in
+// internal/experiments and reports the headline scalars via
+// b.ReportMetric; run with -v to also get the rendered tables, or use
+// cmd/sweep for standalone regeneration.
+//
+// Resolution defaults to the evaluation settings (256×256, 1 spp) and can
+// be overridden with ZATEL_RES / ZATEL_SPP for quick runs.
+package zatel_test
+
+import (
+	"io"
+	"os"
+	"strconv"
+	"sync"
+	"testing"
+
+	"zatel/internal/analytic"
+	"zatel/internal/config"
+	"zatel/internal/core"
+	"zatel/internal/experiments"
+	"zatel/internal/gpu"
+	"zatel/internal/metrics"
+	"zatel/internal/rt"
+	"zatel/internal/scene"
+)
+
+func benchSettings() experiments.Settings {
+	s := experiments.Default()
+	if v := os.Getenv("ZATEL_RES"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			s.Width, s.Height = n, n
+		}
+	}
+	if v := os.Getenv("ZATEL_SPP"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			s.SPP = n
+		}
+	}
+	return s
+}
+
+func render(b *testing.B, f func(io.Writer)) {
+	b.Helper()
+	if testing.Verbose() {
+		var sink logWriter
+		sink.b = b
+		f(&sink)
+	}
+}
+
+// logWriter funnels a Render into b.Log lines.
+type logWriter struct {
+	b   *testing.B
+	buf []byte
+}
+
+func (w *logWriter) Write(p []byte) (int, error) {
+	w.buf = append(w.buf, p...)
+	for {
+		i := indexByte(w.buf, '\n')
+		if i < 0 {
+			break
+		}
+		w.b.Log(string(w.buf[:i]))
+		w.buf = w.buf[i+1:]
+	}
+	return len(p), nil
+}
+
+func indexByte(b []byte, c byte) int {
+	for i, x := range b {
+		if x == c {
+			return i
+		}
+	}
+	return -1
+}
+
+// BenchmarkFig10_FullyOptimizedPARK regenerates Fig. 10: per-metric error
+// of the fully optimized Zatel on PARK for both Table II configurations,
+// plus the Section IV-B headline MAE/speedup numbers.
+func BenchmarkFig10_FullyOptimizedPARK(b *testing.B) {
+	s := benchSettings()
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig10(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*r.MAE["MobileSoC"], "MAE_SoC_%")
+		b.ReportMetric(100*r.MAE["RTX2060"], "MAE_RTX_%")
+		b.ReportMetric(r.Speedup["MobileSoC"], "speedup_SoC_x")
+		b.ReportMetric(r.CappedSpeedup, "speedup_cap10_x")
+		render(b, func(w io.Writer) { r.Render(w) })
+	}
+}
+
+// BenchmarkFig11_ArchCompare regenerates Fig. 11: RTX 2060 metrics
+// normalized to the Mobile SoC, Zatel prediction vs full simulation.
+func BenchmarkFig11_ArchCompare(b *testing.B) {
+	s := benchSettings()
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig11(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		maxDiff := 0.0
+		for _, m := range metrics.All() {
+			if r.Diff[m] > maxDiff {
+				maxDiff = r.Diff[m]
+			}
+		}
+		b.ReportMetric(100*maxDiff, "maxNormDiff_%")
+		b.ReportMetric(r.Zatel[metrics.SimCycles], "normCycles_pred")
+		b.ReportMetric(r.FullSim[metrics.SimCycles], "normCycles_ref")
+		render(b, func(w io.Writer) { r.Render(w) })
+	}
+}
+
+// BenchmarkTable3_Tuning regenerates Table III: distribution × section-size
+// tuning on SHIP/WKND/BUNNY.
+func BenchmarkTable3_Tuning(b *testing.B) {
+	s := benchSettings()
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Table3(s, config.RTX2060(), 5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*r.SceneMAE["SHIP"], "MAE_SHIP_%")
+		b.ReportMetric(100*r.SceneMAE["WKND"], "MAE_WKND_%")
+		b.ReportMetric(100*r.SceneMAE["BUNNY"], "MAE_BUNNY_%")
+		render(b, func(w io.Writer) { r.Render(w) })
+	}
+}
+
+// The Figs. 13–16 benchmarks share one percentage sweep per process: the
+// four figures are four views of the same {10..90}% × scene grid.
+var (
+	sweepOnce sync.Once
+	sweepRes  *experiments.SweepResult
+	sweepErr  error
+)
+
+func sharedSweep(b *testing.B) *experiments.SweepResult {
+	b.Helper()
+	sweepOnce.Do(func() {
+		sweepRes, sweepErr = experiments.PercentSweep(benchSettings(), config.RTX2060(), nil)
+	})
+	if sweepErr != nil {
+		b.Fatal(sweepErr)
+	}
+	return sweepRes
+}
+
+// BenchmarkFig13_CyclesErrorVsPercent regenerates Fig. 13: simulation
+// cycles error per scene vs % pixels traced (RTX 2060).
+func BenchmarkFig13_CyclesErrorVsPercent(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := sharedSweep(b)
+		// Headline: error at 10% vs 50% (paper: exponential convergence).
+		at10, at50 := 0.0, 0.0
+		for _, sc := range r.Scenes {
+			at10 += r.Points[sc][0].Errors[metrics.SimCycles]
+			at50 += r.Points[sc][4].Errors[metrics.SimCycles]
+		}
+		n := float64(len(r.Scenes))
+		b.ReportMetric(100*at10/n, "cycErr10_%")
+		b.ReportMetric(100*at50/n, "cycErr50_%")
+		render(b, func(w io.Writer) { r.RenderFig13(w) })
+	}
+}
+
+// BenchmarkFig14_RunningTime regenerates Fig. 14: Zatel running time per
+// scene vs % pixels traced.
+func BenchmarkFig14_RunningTime(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := sharedSweep(b)
+		b.ReportMetric(r.Points["BATH"][8].SimWall.Seconds(), "BATH90_s")
+		b.ReportMetric(r.Points["SPRNG"][0].SimWall.Seconds(), "SPRNG10_s")
+		render(b, func(w io.Writer) { r.RenderFig14(w) })
+	}
+}
+
+// BenchmarkFig15_Speedup regenerates Fig. 15: speedup per scene vs %
+// pixels plus the Eq. 4 power fit.
+func BenchmarkFig15_Speedup(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := sharedSweep(b)
+		b.ReportMetric(r.FitA, "fitA")
+		b.ReportMetric(r.FitB, "fitB")
+		render(b, func(w io.Writer) { r.RenderFig15(w) })
+	}
+}
+
+// BenchmarkFig16_MetricMAE regenerates Fig. 16: per-metric MAE with
+// min/max bars over all scenes vs % pixels.
+func BenchmarkFig16_MetricMAE(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := sharedSweep(b)
+		mae := func(pi int, m metrics.Metric) float64 {
+			sum := 0.0
+			for _, sc := range r.Scenes {
+				sum += r.Points[sc][pi].Errors[m]
+			}
+			return 100 * sum / float64(len(r.Scenes))
+		}
+		b.ReportMetric(mae(0, metrics.L1DMissRate), "l1MAE10_%")
+		b.ReportMetric(mae(8, metrics.L1DMissRate), "l1MAE90_%")
+		render(b, func(w io.Writer) { r.RenderFig16(w) })
+	}
+}
+
+// The Figs. 17–19 benchmarks share the downscale sweeps.
+var (
+	downOnce     sync.Once
+	downReprRes  *experiments.DownscaleResult
+	downAllRes   *experiments.DownscaleResult
+	downSweepErr error
+)
+
+func sharedDownscale(b *testing.B) (*experiments.DownscaleResult, *experiments.DownscaleResult) {
+	b.Helper()
+	downOnce.Do(func() {
+		s := benchSettings()
+		downReprRes, downSweepErr = experiments.DownscaleSweep(s, config.RTX2060(), scene.RepresentativeSubset())
+		if downSweepErr == nil {
+			downAllRes, downSweepErr = experiments.DownscaleSweep(s, config.RTX2060(), scene.Names())
+		}
+	})
+	if downSweepErr != nil {
+		b.Fatal(downSweepErr)
+	}
+	return downReprRes, downAllRes
+}
+
+func meanErrAt(r *experiments.DownscaleResult, div core.Division, ki int, m metrics.Metric) float64 {
+	sum := 0.0
+	for _, sc := range r.Scenes {
+		sum += r.Points[div][sc][ki].Errors[m]
+	}
+	return 100 * sum / float64(len(r.Scenes))
+}
+
+// BenchmarkFig17_DownscaleRepresentative regenerates Fig. 17: error per
+// downscaling factor on the representative LumiBench subset.
+func BenchmarkFig17_DownscaleRepresentative(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		repr, _ := sharedDownscale(b)
+		last := len(repr.Factors) - 1
+		b.ReportMetric(meanErrAt(repr, core.FineGrained, last, metrics.SimCycles), "cycErrKmax_fine_%")
+		b.ReportMetric(meanErrAt(repr, core.CoarseGrained, last, metrics.SimCycles), "cycErrKmax_coarse_%")
+		render(b, func(w io.Writer) { repr.RenderErrors(w, "Fig. 17 (representative subset)") })
+	}
+}
+
+// BenchmarkFig18_DownscaleAll regenerates Fig. 18: the same sweep over all
+// used scenes (higher errors: some scenes cannot stress the downscaled GPU).
+func BenchmarkFig18_DownscaleAll(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		repr, all := sharedDownscale(b)
+		last := len(all.Factors) - 1
+		reprErr := meanErrAt(repr, core.FineGrained, last, metrics.SimCycles)
+		allErr := meanErrAt(all, core.FineGrained, last, metrics.SimCycles)
+		b.ReportMetric(reprErr, "cycErr_repr_%")
+		b.ReportMetric(allErr, "cycErr_all_%")
+		render(b, func(w io.Writer) { all.RenderErrors(w, "Fig. 18 (all scenes)") })
+	}
+}
+
+// BenchmarkFig19_DownscaleSpeedup regenerates Fig. 19: speedup gained from
+// GPU downscaling per factor.
+func BenchmarkFig19_DownscaleSpeedup(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, all := sharedDownscale(b)
+		first, last := 0, len(all.Factors)-1
+		sum := func(ki int) float64 {
+			s := 0.0
+			for _, sc := range all.Scenes {
+				s += all.Points[core.FineGrained][sc][ki].Speedup
+			}
+			return s / float64(len(all.Scenes))
+		}
+		b.ReportMetric(sum(first), "speedupKmin_x")
+		b.ReportMetric(sum(last), "speedupKmax_x")
+		render(b, func(w io.Writer) { all.RenderSpeedup(w) })
+	}
+}
+
+// BenchmarkFig20_Regression regenerates Fig. 20: exponential-regression
+// extrapolation vs directly tracing 40%.
+func BenchmarkFig20_Regression(b *testing.B) {
+	s := benchSettings()
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig20(s, config.RTX2060(), nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*float64(r.WorseCount)/float64(r.Total), "regWorse_%")
+		render(b, func(w io.Writer) { r.Render(w) })
+	}
+}
+
+// BenchmarkAblation_Scheduler compares GTO against round-robin warp
+// scheduling on the full simulator — the design choice Table II fixes to
+// greedy-then-oldest.
+func BenchmarkAblation_Scheduler(b *testing.B) {
+	s := benchSettings()
+	wl, err := rt.CachedWorkload("PARK", s.Width, s.Height, s.SPP)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		gto := config.MobileSoC()
+		rr := config.MobileSoC()
+		rr.Scheduler = config.RoundRobin
+		repGTO, err := gpu.Run(gpu.Job{Cfg: gto, Traces: wl.Traces})
+		if err != nil {
+			b.Fatal(err)
+		}
+		repRR, err := gpu.Run(gpu.Job{Cfg: rr, Traces: wl.Traces})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(repGTO.Cycles), "cycles_gto")
+		b.ReportMetric(float64(repRR.Cycles), "cycles_rr")
+	}
+}
+
+// BenchmarkAblation_RTMSHR sweeps the RT unit MSHR size (Table II fixes it
+// at 64) to show its effect on simulated cycles.
+func BenchmarkAblation_RTMSHR(b *testing.B) {
+	s := benchSettings()
+	wl, err := rt.CachedWorkload("BATH", s.Width, s.Height, s.SPP)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		for _, mshr := range []int{8, 64} {
+			cfg := config.MobileSoC()
+			cfg.RTMSHRSize = mshr
+			rep, err := gpu.Run(gpu.Job{Cfg: cfg, Traces: wl.Traces})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if mshr == 8 {
+				b.ReportMetric(float64(rep.Cycles), "cycles_mshr8")
+			} else {
+				b.ReportMetric(float64(rep.Cycles), "cycles_mshr64")
+			}
+		}
+	}
+}
+
+// BenchmarkBaseline_AnalyticModel compares a GPUMech/GCoM-style interval
+// analytical model against Zatel on cycles and IPC — the Section IV-B
+// comparison. The paper cites GCoM at 26.7% MAE on GPGPU workloads and
+// argues ray tracing is worse for analytical models; the expected outcome
+// here is a far higher error than Zatel's.
+func BenchmarkBaseline_AnalyticModel(b *testing.B) {
+	s := benchSettings()
+	scenes := []string{"PARK", "BUNNY", "SPNZA"}
+	for i := 0; i < b.N; i++ {
+		var analyticErr, zatelErr float64
+		for _, sc := range scenes {
+			cfg := config.MobileSoC()
+			ref, err := core.Reference(cfg, sc, s.Width, s.Height, s.SPP)
+			if err != nil {
+				b.Fatal(err)
+			}
+			wl, err := rt.CachedWorkload(sc, s.Width, s.Height, s.SPP)
+			if err != nil {
+				b.Fatal(err)
+			}
+			ap, err := analytic.Predict(cfg, wl.Traces)
+			if err != nil {
+				b.Fatal(err)
+			}
+			res, err := core.Predict(core.Options{
+				Config: cfg, Scene: sc, Width: s.Width, Height: s.Height, SPP: s.SPP,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			analyticErr += metrics.AbsErr(ap.Cycles, ref.Value(metrics.SimCycles))
+			analyticErr += metrics.AbsErr(ap.IPC, ref.Value(metrics.IPC))
+			zatelErr += res.Errors(ref)[metrics.SimCycles]
+			zatelErr += res.Errors(ref)[metrics.IPC]
+		}
+		n := float64(2 * len(scenes))
+		b.ReportMetric(100*analyticErr/n, "analyticMAE_%")
+		b.ReportMetric(100*zatelErr/n, "zatelMAE_%")
+	}
+}
+
+// BenchmarkAblation_L2Bias demonstrates the Section III-G observation that
+// motivates extrapolation: independent per-group simulations do not share
+// the L2, so the combined L2 miss rate overestimates the reference.
+func BenchmarkAblation_L2Bias(b *testing.B) {
+	s := benchSettings()
+	for i := 0; i < b.N; i++ {
+		cfg := config.MobileSoC()
+		ref, err := core.Reference(cfg, "PARK", s.Width, s.Height, s.SPP)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := core.Predict(core.Options{
+			Config: cfg, Scene: "PARK",
+			Width: s.Width, Height: s.Height, SPP: s.SPP,
+			FixedFraction: 1, // isolate the split: no sampling at all
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(ref.Value(metrics.L2MissRate), "l2miss_shared")
+		b.ReportMetric(res.Predicted[metrics.L2MissRate], "l2miss_split")
+	}
+}

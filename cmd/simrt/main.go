@@ -1,0 +1,65 @@
+// Command simrt runs the full cycle-level GPU simulation of a scene — the
+// ground-truth baseline Zatel is compared against (what the paper obtains
+// from an unmodified Vulkan-Sim run).
+//
+// Usage:
+//
+//	simrt -scene PARK -config mobile -res 128 -spp 2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"zatel/internal/config"
+	"zatel/internal/core"
+	"zatel/internal/metrics"
+	"zatel/internal/scene"
+)
+
+func main() {
+	var (
+		sceneName = flag.String("scene", "PARK", "scene name ("+strings.Join(scene.Names(), ", ")+")")
+		cfgName   = flag.String("config", "mobile", "GPU configuration: mobile or rtx2060")
+		res       = flag.Int("res", 128, "square frame resolution")
+		spp       = flag.Int("spp", 2, "samples per pixel")
+	)
+	flag.Parse()
+
+	cfg, err := configByName(*cfgName)
+	if err != nil {
+		fatal(err)
+	}
+	rep, err := core.Reference(cfg, *sceneName, *res, *res, *spp)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("full simulation: %s on %s (%dx%d, %d spp)\n", *sceneName, cfg.Name, *res, *res, *spp)
+	fmt.Printf("%-22s%16s\n", "Metric", "Value")
+	for _, m := range metrics.All() {
+		fmt.Printf("%-22s%16.4f\n", m, rep.Value(m))
+	}
+	fmt.Printf("%-22s%16d\n", "Instructions", rep.Instructions)
+	fmt.Printf("%-22s%16d\n", "Warps", rep.Warps)
+	fmt.Printf("%-22s%16s\n", "Wall time", rep.WallTime.Round(1e6).String())
+}
+
+// configByName resolves the two Table II configurations.
+func configByName(name string) (config.Config, error) {
+	switch strings.ToLower(name) {
+	case "mobile", "mobilesoc", "soc":
+		return config.MobileSoC(), nil
+	case "rtx2060", "rtx", "turing":
+		return config.RTX2060(), nil
+	default:
+		return config.Config{}, fmt.Errorf("unknown config %q (want mobile or rtx2060)", name)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "simrt:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,162 @@
+// Command sweep regenerates the paper's evaluation tables and figures.
+// Each subcommand reproduces one experiment and prints the corresponding
+// rows/series; "all" runs the full evaluation in order.
+//
+// Usage:
+//
+//	sweep [-res 128] [-spp 2] [-config rtx2060] [-reps 5] <experiment>
+//
+// Experiments: fig10 fig11 table3 fig13 fig14 fig15 fig16 fig17 fig18
+// fig19 fig20 all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"zatel/internal/config"
+	"zatel/internal/experiments"
+	"zatel/internal/scene"
+)
+
+func main() {
+	var (
+		res     = flag.Int("res", 256, "square frame resolution")
+		spp     = flag.Int("spp", 1, "samples per pixel")
+		cfgName = flag.String("config", "rtx2060", "config for per-config sweeps (mobile or rtx2060)")
+		reps    = flag.Int("reps", 5, "random-selection repetitions for table3")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		usage()
+	}
+
+	settings := experiments.Settings{Width: *res, Height: *res, SPP: *spp}
+	cfg, err := configByName(*cfgName)
+	if err != nil {
+		fatal(err)
+	}
+
+	which := strings.ToLower(flag.Arg(0))
+	run := func(name string) {
+		if err := runExperiment(name, settings, cfg, *reps); err != nil {
+			fatal(fmt.Errorf("%s: %w", name, err))
+		}
+		fmt.Println()
+	}
+	if which == "all" {
+		for _, name := range []string{"fig10", "fig11", "table3", "fig13", "fig14",
+			"fig15", "fig16", "fig17", "fig18", "fig19", "fig20"} {
+			run(name)
+		}
+		return
+	}
+	run(which)
+}
+
+// sweepCache shares one percentage sweep across fig13–fig16.
+var sweepCache *experiments.SweepResult
+
+// downscaleCache shares the K sweeps across fig17–fig19 (Fig. 17 uses the
+// representative subset, Figs. 18/19 all scenes).
+var (
+	downscaleRepr *experiments.DownscaleResult
+	downscaleAll  *experiments.DownscaleResult
+)
+
+func runExperiment(name string, s experiments.Settings, cfg config.Config, reps int) error {
+	out := os.Stdout
+	switch name {
+	case "fig10":
+		r, err := experiments.Fig10(s)
+		if err != nil {
+			return err
+		}
+		r.Render(out)
+	case "fig11":
+		r, err := experiments.Fig11(s)
+		if err != nil {
+			return err
+		}
+		r.Render(out)
+	case "table3":
+		r, err := experiments.Table3(s, cfg, reps)
+		if err != nil {
+			return err
+		}
+		r.Render(out)
+	case "fig13", "fig14", "fig15", "fig16":
+		if sweepCache == nil {
+			r, err := experiments.PercentSweep(s, cfg, nil)
+			if err != nil {
+				return err
+			}
+			sweepCache = r
+		}
+		switch name {
+		case "fig13":
+			sweepCache.RenderFig13(out)
+		case "fig14":
+			sweepCache.RenderFig14(out)
+		case "fig15":
+			sweepCache.RenderFig15(out)
+		case "fig16":
+			sweepCache.RenderFig16(out)
+		}
+	case "fig17":
+		if downscaleRepr == nil {
+			r, err := experiments.DownscaleSweep(s, cfg, scene.RepresentativeSubset())
+			if err != nil {
+				return err
+			}
+			downscaleRepr = r
+		}
+		downscaleRepr.RenderErrors(out, "Fig. 17 (representative subset)")
+	case "fig18", "fig19":
+		if downscaleAll == nil {
+			r, err := experiments.DownscaleSweep(s, cfg, scene.Names())
+			if err != nil {
+				return err
+			}
+			downscaleAll = r
+		}
+		if name == "fig18" {
+			downscaleAll.RenderErrors(out, "Fig. 18 (all scenes)")
+		} else {
+			downscaleAll.RenderSpeedup(out)
+		}
+	case "fig20":
+		r, err := experiments.Fig20(s, cfg, nil)
+		if err != nil {
+			return err
+		}
+		r.Render(out)
+	default:
+		usage()
+	}
+	return nil
+}
+
+func configByName(name string) (config.Config, error) {
+	switch strings.ToLower(name) {
+	case "mobile", "mobilesoc", "soc":
+		return config.MobileSoC(), nil
+	case "rtx2060", "rtx", "turing":
+		return config.RTX2060(), nil
+	default:
+		return config.Config{}, fmt.Errorf("unknown config %q (want mobile or rtx2060)", name)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: sweep [flags] <fig10|fig11|table3|fig13|fig14|fig15|fig16|fig17|fig18|fig19|fig20|all>")
+	flag.PrintDefaults()
+	os.Exit(2)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sweep:", err)
+	os.Exit(1)
+}

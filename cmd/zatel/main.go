@@ -1,0 +1,127 @@
+// Command zatel runs the Zatel prediction pipeline on a scene and, with
+// -compare, evaluates it against the ground-truth full simulation.
+//
+// Usage:
+//
+//	zatel -scene PARK -config mobile -res 128 -spp 2 -compare
+//	zatel -scene PARK -maxpercent 0.1           # the paper's 50x variant
+//	zatel -scene BATH -division coarse -dist exptmp -percent 0.4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"zatel/internal/config"
+	"zatel/internal/core"
+	"zatel/internal/metrics"
+	"zatel/internal/sampling"
+	"zatel/internal/scene"
+)
+
+func main() {
+	var (
+		sceneName  = flag.String("scene", "PARK", "scene name ("+strings.Join(scene.Names(), ", ")+")")
+		cfgName    = flag.String("config", "mobile", "GPU configuration: mobile or rtx2060")
+		res        = flag.Int("res", 128, "square frame resolution")
+		spp        = flag.Int("spp", 2, "samples per pixel")
+		division   = flag.String("division", "fine", "image-plane division: fine or coarse")
+		dist       = flag.String("dist", "uniform", "pixel distribution: uniform, lintmp or exptmp")
+		percent    = flag.Float64("percent", 0, "fixed traced-pixel fraction in (0,1]; 0 uses Eq. 1")
+		maxPercent = flag.Float64("maxpercent", 0, "cap on the Eq. 1 budget (0 = none)")
+		k          = flag.Int("k", 0, "downscaling factor override (0 = gcd rule)")
+		noDown     = flag.Bool("no-downscale", false, "disable GPU downscaling (K=1)")
+		regression = flag.Bool("regression", false, "use exponential-regression extrapolation (20/30/40% runs)")
+		compare    = flag.Bool("compare", false, "also run the full simulation and report errors and speedup")
+		seed       = flag.Uint64("seed", 1, "selection randomness seed")
+	)
+	flag.Parse()
+
+	cfg, err := configByName(*cfgName)
+	if err != nil {
+		fatal(err)
+	}
+	opts := core.Options{
+		Config: cfg,
+		Scene:  *sceneName,
+		Width:  *res, Height: *res, SPP: *spp,
+		K:             *k,
+		NoDownscale:   *noDown,
+		FixedFraction: *percent,
+		MaxFraction:   *maxPercent,
+		Regression:    *regression,
+		Seed:          *seed,
+	}
+	switch strings.ToLower(*division) {
+	case "fine":
+		opts.Division = core.FineGrained
+	case "coarse":
+		opts.Division = core.CoarseGrained
+	default:
+		fatal(fmt.Errorf("unknown division %q", *division))
+	}
+	switch strings.ToLower(*dist) {
+	case "uniform":
+		opts.Dist = sampling.Uniform
+	case "lintmp":
+		opts.Dist = sampling.LinTmp
+	case "exptmp":
+		opts.Dist = sampling.ExpTmp
+	default:
+		fatal(fmt.Errorf("unknown distribution %q", *dist))
+	}
+
+	result, err := core.Predict(opts)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("zatel: %s on %s (%dx%d, %d spp), K=%d, %s division, %s distribution\n",
+		*sceneName, cfg.Name, *res, *res, *spp, result.K, opts.Division, opts.Dist)
+	for gi, g := range result.Groups {
+		fmt.Printf("  group %d: %d/%d pixels traced (%.1f%%), %d cycles, %s\n",
+			gi, g.Selected, g.Pixels, 100*g.Fraction, g.Report.Cycles,
+			g.WallTime.Round(1e6))
+	}
+	fmt.Printf("preprocess %s, simulation wall %s (slowest instance)\n\n",
+		result.PreprocessTime.Round(1e6), result.SimWallTime.Round(1e6))
+
+	if !*compare {
+		fmt.Printf("%-22s%16s\n", "Metric", "Predicted")
+		for _, m := range metrics.All() {
+			fmt.Printf("%-22s%16.4f\n", m, result.Predicted[m])
+		}
+		return
+	}
+
+	ref, err := core.Reference(cfg, *sceneName, *res, *res, *spp)
+	if err != nil {
+		fatal(err)
+	}
+	errs := result.Errors(ref)
+	fmt.Printf("%-22s%16s%16s%12s\n", "Metric", "Predicted", "FullSim", "AbsErr")
+	for _, m := range metrics.All() {
+		fmt.Printf("%-22s%16.4f%16.4f%11.1f%%\n", m, result.Predicted[m], ref.Value(m), 100*errs[m])
+	}
+	fmt.Printf("\nMAE %.1f%%   speedup %.1fx (full sim %s vs zatel %s)\n",
+		100*metrics.MAE(errs, metrics.All()), result.Speedup(ref),
+		ref.WallTime.Round(1e6), (result.PreprocessTime + result.SimWallTime).Round(1e6))
+}
+
+func configByName(name string) (config.Config, error) {
+	switch strings.ToLower(name) {
+	case "mobile", "mobilesoc", "soc":
+		return config.MobileSoC(), nil
+	case "rtx2060", "rtx", "turing":
+		return config.RTX2060(), nil
+	default:
+		return config.Config{}, fmt.Errorf("unknown config %q (want mobile or rtx2060)", name)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "zatel:", err)
+	os.Exit(1)
+}

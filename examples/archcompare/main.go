@@ -1,0 +1,69 @@
+// Archcompare: the early-design-phase workflow Zatel was built for
+// (Section IV-B, Fig. 11). An architect wants to know how a candidate
+// next-generation mobile GPU — double the SMs, bigger RT units — compares
+// to the current Mobile SoC on a heavy path-tracing workload, without
+// waiting for two full cycle-accurate runs.
+//
+// Because Zatel runs the cycle-level simulator at its core, the candidate
+// architecture needs no model changes: edit the configuration and rerun.
+//
+//	go run ./examples/archcompare
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"zatel/internal/config"
+	"zatel/internal/core"
+	"zatel/internal/metrics"
+)
+
+func main() {
+	baseline := config.MobileSoC()
+
+	// The candidate design under evaluation: twice the SMs and memory
+	// partitions, a deeper RT-unit queue and double the L2.
+	candidate := baseline
+	candidate.Name = "MobileSoC-Next"
+	candidate.NumSMs = 16
+	candidate.NumMemPartitions = 8
+	candidate.RTMaxWarps = 8
+	candidate.TotalL2Bytes = 6 << 20
+	if err := candidate.Validate(); err != nil {
+		log.Fatal(err)
+	}
+
+	const sceneName = "PARK" // the hardest path-tracing workload
+	run := func(cfg config.Config) *core.Result {
+		res, err := core.Predict(core.Options{
+			Config: cfg,
+			Scene:  sceneName,
+			Width:  96, Height: 96, SPP: 1,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res
+	}
+
+	fmt.Printf("evaluating %s vs %s on %s via Zatel (no full simulations)\n\n",
+		candidate.Name, baseline.Name, sceneName)
+	base := run(baseline)
+	next := run(candidate)
+
+	fmt.Printf("%-22s%14s%14s%12s\n", "Metric", baseline.Name, candidate.Name, "ratio")
+	for _, m := range metrics.All() {
+		b, n := base.Predicted[m], next.Predicted[m]
+		ratio := 0.0
+		if b != 0 {
+			ratio = n / b
+		}
+		fmt.Printf("%-22s%14.4f%14.4f%11.2fx\n", m, b, n, ratio)
+	}
+
+	speedup := base.Predicted[metrics.SimCycles] / next.Predicted[metrics.SimCycles]
+	fmt.Printf("\npredicted frame-time speedup of the candidate: %.2fx\n", speedup)
+	fmt.Printf("prediction cost: %s + %s of simulation (K=%d instances each)\n",
+		base.SimWallTime.Round(1e6), next.SimWallTime.Round(1e6), base.K)
+}

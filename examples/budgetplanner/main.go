@@ -1,0 +1,57 @@
+// Budgetplanner: use Eq. 4 (speedup = 181·perc^−1.15) to pick the traced-
+// pixel percentage that fits a simulation time budget, then run Zatel with
+// that percentage and verify both the achieved speedup and the accuracy.
+// This is the "helping users choose the best configuration of Zatel for
+// their study" workflow of Section IV-D.
+//
+//	go run ./examples/budgetplanner
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"zatel/internal/config"
+	"zatel/internal/core"
+	"zatel/internal/extrapolate"
+	"zatel/internal/metrics"
+)
+
+func main() {
+	const sceneName = "SPNZA"
+	cfg := config.RTX2060()
+
+	// The architect can afford 1/5 of a full simulation's time. Invert
+	// Eq. 4 for the percentage that delivers ≥5x:
+	//   5 = 181·perc^-1.15  =>  perc = (181/5)^(1/1.15)
+	const wantSpeedup = 5.0
+	perc := math.Pow(181/wantSpeedup, 1/1.15)
+	fmt.Printf("Eq. 4 says %.0f%% of pixels gives ≈%.1fx speedup\n",
+		perc, extrapolate.SpeedupModel(perc))
+
+	res, err := core.Predict(core.Options{
+		Config: cfg,
+		Scene:  sceneName,
+		Width:  96, Height: 96, SPP: 1,
+		NoDownscale:   true,
+		FixedFraction: perc / 100,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Verify against the ground truth (a study would skip this — it is
+	// the cost being avoided).
+	ref, err := core.Reference(cfg, sceneName, 96, 96, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	errs := res.Errors(ref)
+	fmt.Printf("\n%s on %s tracing %.0f%% of pixels:\n", sceneName, cfg.Name, perc)
+	fmt.Printf("  measured speedup: %.1fx (asked for %.1fx)\n", res.Speedup(ref), wantSpeedup)
+	fmt.Printf("  sim-cycles error: %.1f%%\n", 100*errs[metrics.SimCycles])
+	fmt.Printf("  MAE over Table I metrics: %.1f%%\n", 100*metrics.MAE(errs, metrics.All()))
+	fmt.Printf("  wall: full sim %s vs zatel %s\n",
+		ref.WallTime.Round(1e6), (res.PreprocessTime + res.SimWallTime).Round(1e6))
+}

@@ -1,0 +1,52 @@
+// Quickstart: predict a ray-tracing workload's performance metrics with
+// Zatel and check them against the ground-truth full simulation.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"zatel/internal/config"
+	"zatel/internal/core"
+	"zatel/internal/metrics"
+)
+
+func main() {
+	// Predict how the Mobile SoC of Table II performs on the BUNNY scene.
+	// Everything not set here uses the paper's defaults: fine-grained
+	// division, Eq. 1 pixel budget, uniform distribution, K = gcd(SMs,
+	// memory partitions) and linear extrapolation.
+	opts := core.Options{
+		Config: config.MobileSoC(),
+		Scene:  "BUNNY",
+		Width:  96, Height: 96, SPP: 1,
+	}
+	result, err := core.Predict(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("Zatel split BUNNY into %d groups on a downscaled GPU (%d SMs -> %d):\n",
+		result.K, opts.Config.NumSMs, opts.Config.NumSMs/result.K)
+	for gi, g := range result.Groups {
+		fmt.Printf("  group %d traced %.0f%% of its pixels in %s\n",
+			gi, 100*g.Fraction, g.WallTime.Round(1e6))
+	}
+
+	fmt.Println("\npredicted metrics:")
+	for _, m := range metrics.All() {
+		fmt.Printf("  %-20s %10.4f\n", m, result.Predicted[m])
+	}
+
+	// Compare against the full cycle-level simulation (slow path — this
+	// is exactly what Zatel lets you avoid during design exploration).
+	ref, err := core.Reference(opts.Config, opts.Scene, opts.Width, opts.Height, opts.SPP)
+	if err != nil {
+		log.Fatal(err)
+	}
+	errs := result.Errors(ref)
+	fmt.Printf("\nvs full simulation: MAE %.1f%%, speedup %.1fx\n",
+		100*metrics.MAE(errs, metrics.All()), result.Speedup(ref))
+}

@@ -1,0 +1,3 @@
+module zatel
+
+go 1.22

@@ -1,0 +1,257 @@
+// Package bvh implements the bounding volume hierarchy acceleration
+// structure: a binned-SAH builder over scene triangles, ordered stack
+// traversal, and the node memory layout consumed by the GPU timing model
+// (every traversal step has a concrete byte address so cache and DRAM
+// behaviour can be simulated faithfully).
+package bvh
+
+import (
+	"fmt"
+	"math"
+
+	"zatel/internal/scene"
+	"zatel/internal/vecmath"
+)
+
+// Memory layout constants shared with the timing model. The BVH node pool
+// and triangle pool live in distinct address regions so cache-set conflicts
+// between node and triangle fetches behave realistically.
+const (
+	// NodeBase is the byte address of node 0.
+	NodeBase uint64 = 0x1000_0000
+	// NodeBytes is the size of one BVH2 node record.
+	NodeBytes uint64 = 32
+	// TriBase is the byte address of triangle record 0.
+	TriBase uint64 = 0x2000_0000
+	// TriBytes is the size of one packed triangle record.
+	TriBytes uint64 = 48
+)
+
+// Node is one flat-array BVH2 node. Interior nodes store the index of their
+// right child (the left child is the next array slot); leaves store a
+// triangle range into BVH.TriIndex.
+type Node struct {
+	Bounds vecmath.AABB
+	// Right is the right-child index for interior nodes; leaves hold -1.
+	Right int32
+	// FirstTri and TriCount describe the leaf's triangle range. Interior
+	// nodes hold TriCount == 0.
+	FirstTri int32
+	TriCount int32
+}
+
+// Leaf reports whether the node is a leaf.
+func (n *Node) Leaf() bool { return n.TriCount > 0 }
+
+// BVH is an immutable acceleration structure over a scene's triangles.
+type BVH struct {
+	Nodes []Node
+	// TriIndex maps leaf-order positions to indices into Tris.
+	TriIndex []int32
+	// Tris aliases the source scene's triangle slice.
+	Tris []scene.Triangle
+}
+
+// NodeAddr returns the simulated byte address of node i.
+func NodeAddr(i int32) uint64 { return NodeBase + uint64(i)*NodeBytes }
+
+// TriAddr returns the simulated byte address of leaf-order triangle slot i.
+func TriAddr(i int32) uint64 { return TriBase + uint64(i)*TriBytes }
+
+// Options configures the builder.
+type Options struct {
+	// MaxLeafSize is the largest number of triangles a leaf may hold.
+	MaxLeafSize int
+	// Bins is the number of SAH bins per axis.
+	Bins int
+}
+
+// DefaultOptions match the values used throughout the evaluation.
+func DefaultOptions() Options { return Options{MaxLeafSize: 4, Bins: 16} }
+
+// Build constructs a BVH over the scene's triangles.
+func Build(s *scene.Scene, opt Options) (*BVH, error) {
+	if len(s.Tris) == 0 {
+		return nil, fmt.Errorf("bvh: scene %s has no triangles", s.Name)
+	}
+	if opt.MaxLeafSize <= 0 {
+		return nil, fmt.Errorf("bvh: MaxLeafSize %d must be positive", opt.MaxLeafSize)
+	}
+	if opt.Bins < 2 {
+		return nil, fmt.Errorf("bvh: Bins %d must be at least 2", opt.Bins)
+	}
+
+	n := len(s.Tris)
+	b := &builder{
+		opt:       opt,
+		tris:      s.Tris,
+		triIndex:  make([]int32, n),
+		centroids: make([]vecmath.Vec3, n),
+		bounds:    make([]vecmath.AABB, n),
+	}
+	for i, t := range s.Tris {
+		b.triIndex[i] = int32(i)
+		b.centroids[i] = t.Centroid()
+		b.bounds[i] = t.Bounds()
+	}
+	// Pre-size the node pool: a BVH2 over n leaves has at most 2n-1 nodes.
+	b.nodes = make([]Node, 0, 2*n)
+	b.buildRange(0, n)
+	return &BVH{Nodes: b.nodes, TriIndex: b.triIndex, Tris: s.Tris}, nil
+}
+
+type builder struct {
+	opt       Options
+	tris      []scene.Triangle
+	triIndex  []int32
+	centroids []vecmath.Vec3
+	bounds    []vecmath.AABB
+	nodes     []Node
+}
+
+// buildRange emits the subtree covering triIndex[lo:hi] and returns its
+// node index.
+func (b *builder) buildRange(lo, hi int) int32 {
+	idx := int32(len(b.nodes))
+	b.nodes = append(b.nodes, Node{Right: -1})
+
+	nb := vecmath.EmptyAABB()
+	cb := vecmath.EmptyAABB()
+	for i := lo; i < hi; i++ {
+		nb = nb.Extend(b.bounds[b.triIndex[i]])
+		cb = cb.ExtendPoint(b.centroids[b.triIndex[i]])
+	}
+	b.nodes[idx].Bounds = nb
+
+	count := hi - lo
+	if count <= b.opt.MaxLeafSize {
+		b.makeLeaf(idx, lo, hi)
+		return idx
+	}
+
+	axis, split := b.chooseSplit(lo, hi, cb)
+	if split <= lo || split >= hi {
+		// Degenerate centroid distribution: fall back to a median split so
+		// the tree still terminates, or to a leaf if even that collapses.
+		axis = cb.Diagonal().MaxAxis()
+		b.sortRange(lo, hi, axis)
+		split = lo + count/2
+		if split <= lo || split >= hi {
+			b.makeLeaf(idx, lo, hi)
+			return idx
+		}
+	}
+
+	// The left child always follows the parent contiguously.
+	left := b.buildRange(lo, split)
+	right := b.buildRange(split, hi)
+	if left != idx+1 {
+		panic("bvh: left child not contiguous")
+	}
+	b.nodes[idx].Right = right
+	return idx
+}
+
+func (b *builder) makeLeaf(idx int32, lo, hi int) {
+	b.nodes[idx].FirstTri = int32(lo)
+	b.nodes[idx].TriCount = int32(hi - lo)
+}
+
+// chooseSplit runs binned SAH over the centroid bounds cb and partitions
+// triIndex[lo:hi]; it returns the split axis and the partition point.
+func (b *builder) chooseSplit(lo, hi int, cb vecmath.AABB) (int, int) {
+	axis := cb.Diagonal().MaxAxis()
+	extent := cb.Diagonal().Axis(axis)
+	if extent <= 0 {
+		return axis, lo // degenerate; caller falls back
+	}
+
+	bins := b.opt.Bins
+	type bin struct {
+		bounds vecmath.AABB
+		count  int
+	}
+	bs := make([]bin, bins)
+	for i := range bs {
+		bs[i].bounds = vecmath.EmptyAABB()
+	}
+	binOf := func(ti int32) int {
+		rel := (b.centroids[ti].Axis(axis) - cb.Lo.Axis(axis)) / extent
+		k := int(rel * float32(bins))
+		if k < 0 {
+			k = 0
+		}
+		if k >= bins {
+			k = bins - 1
+		}
+		return k
+	}
+	for i := lo; i < hi; i++ {
+		ti := b.triIndex[i]
+		k := binOf(ti)
+		bs[k].bounds = bs[k].bounds.Extend(b.bounds[ti])
+		bs[k].count++
+	}
+
+	// Sweep to find the split plane minimising the SAH cost
+	// leftArea·leftCount + rightArea·rightCount.
+	rightArea := make([]float32, bins)
+	rightCount := make([]int, bins)
+	acc := vecmath.EmptyAABB()
+	cnt := 0
+	for k := bins - 1; k >= 1; k-- {
+		acc = acc.Extend(bs[k].bounds)
+		cnt += bs[k].count
+		rightArea[k] = acc.SurfaceArea()
+		rightCount[k] = cnt
+	}
+	bestCost := float32(math.Inf(1))
+	bestPlane := -1
+	accL := vecmath.EmptyAABB()
+	cntL := 0
+	for k := 0; k < bins-1; k++ {
+		accL = accL.Extend(bs[k].bounds)
+		cntL += bs[k].count
+		if cntL == 0 || rightCount[k+1] == 0 {
+			continue
+		}
+		cost := accL.SurfaceArea()*float32(cntL) + rightArea[k+1]*float32(rightCount[k+1])
+		if cost < bestCost {
+			bestCost = cost
+			bestPlane = k
+		}
+	}
+	if bestPlane < 0 {
+		return axis, lo
+	}
+
+	// In-place partition by bin index.
+	i, j := lo, hi-1
+	for i <= j {
+		if binOf(b.triIndex[i]) <= bestPlane {
+			i++
+		} else {
+			b.triIndex[i], b.triIndex[j] = b.triIndex[j], b.triIndex[i]
+			j--
+		}
+	}
+	return axis, i
+}
+
+// sortRange orders triIndex[lo:hi] by centroid along axis (insertion-free
+// partial ordering is unnecessary; a simple index sort suffices for the
+// rare fallback path).
+func (b *builder) sortRange(lo, hi, axis int) {
+	sub := b.triIndex[lo:hi]
+	// Insertion sort: the fallback only fires on tiny or degenerate ranges.
+	for i := 1; i < len(sub); i++ {
+		v := sub[i]
+		key := b.centroids[v].Axis(axis)
+		j := i - 1
+		for j >= 0 && b.centroids[sub[j]].Axis(axis) > key {
+			sub[j+1] = sub[j]
+			j--
+		}
+		sub[j+1] = v
+	}
+}

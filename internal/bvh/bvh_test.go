@@ -1,0 +1,244 @@
+package bvh
+
+import (
+	"testing"
+
+	"zatel/internal/scene"
+	"zatel/internal/vecmath"
+)
+
+func buildScene(t *testing.T, name string) (*scene.Scene, *BVH) {
+	t.Helper()
+	s, err := scene.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Build(s, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, b
+}
+
+func TestBuildRejectsBadInputs(t *testing.T) {
+	s, err := scene.ByName("SPRNG")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Build(s, Options{MaxLeafSize: 0, Bins: 8}); err == nil {
+		t.Error("MaxLeafSize 0 accepted")
+	}
+	if _, err := Build(s, Options{MaxLeafSize: 4, Bins: 1}); err == nil {
+		t.Error("Bins 1 accepted")
+	}
+	empty := &scene.Scene{Name: "empty"}
+	if _, err := Build(empty, DefaultOptions()); err == nil {
+		t.Error("empty scene accepted")
+	}
+}
+
+// Every triangle appears exactly once in leaf order.
+func TestTriIndexIsPermutation(t *testing.T) {
+	for _, name := range scene.Names() {
+		s, b := buildScene(t, name)
+		if len(b.TriIndex) != len(s.Tris) {
+			t.Fatalf("%s: TriIndex size %d != %d tris", name, len(b.TriIndex), len(s.Tris))
+		}
+		seen := make([]bool, len(s.Tris))
+		for _, ti := range b.TriIndex {
+			if ti < 0 || int(ti) >= len(s.Tris) {
+				t.Fatalf("%s: index %d out of range", name, ti)
+			}
+			if seen[ti] {
+				t.Fatalf("%s: triangle %d duplicated", name, ti)
+			}
+			seen[ti] = true
+		}
+	}
+}
+
+// Every node's bounds must contain all triangles in its subtree, and leaf
+// ranges must tile [0, n) exactly.
+func TestTreeInvariants(t *testing.T) {
+	for _, name := range []string{"SPRNG", "BUNNY", "PARK"} {
+		s, b := buildScene(t, name)
+		covered := make([]bool, len(s.Tris))
+		var walk func(ni int32) vecmath.AABB
+		walk = func(ni int32) vecmath.AABB {
+			n := &b.Nodes[ni]
+			if n.Leaf() {
+				box := vecmath.EmptyAABB()
+				for i := n.FirstTri; i < n.FirstTri+n.TriCount; i++ {
+					slot := b.TriIndex[i]
+					if covered[slot] {
+						t.Fatalf("%s: slot %d in two leaves", name, slot)
+					}
+					covered[slot] = true
+					box = box.Extend(b.Tris[slot].Bounds())
+				}
+				if !contains(n.Bounds, box) {
+					t.Fatalf("%s: leaf %d bounds too small", name, ni)
+				}
+				return box
+			}
+			l := walk(ni + 1)
+			r := walk(n.Right)
+			both := l.Extend(r)
+			if !contains(n.Bounds, both) {
+				t.Fatalf("%s: interior %d bounds too small", name, ni)
+			}
+			return both
+		}
+		walk(0)
+		for i, c := range covered {
+			if !c {
+				t.Fatalf("%s: triangle %d missing from leaves", name, i)
+			}
+		}
+	}
+}
+
+func contains(outer, inner vecmath.AABB) bool {
+	const eps = 1e-3
+	return outer.Lo.X <= inner.Lo.X+eps && outer.Lo.Y <= inner.Lo.Y+eps &&
+		outer.Lo.Z <= inner.Lo.Z+eps && outer.Hi.X >= inner.Hi.X-eps &&
+		outer.Hi.Y >= inner.Hi.Y-eps && outer.Hi.Z >= inner.Hi.Z-eps
+}
+
+func TestLeafSizeRespected(t *testing.T) {
+	_, b := buildScene(t, "PARK")
+	st := b.ComputeStats()
+	if st.MaxLeafTris > DefaultOptions().MaxLeafSize {
+		t.Errorf("max leaf %d exceeds limit %d", st.MaxLeafTris, DefaultOptions().MaxLeafSize)
+	}
+	if st.MaxDepth >= maxStack {
+		t.Errorf("depth %d would overflow the traversal stack", st.MaxDepth)
+	}
+}
+
+// Traversal must agree with brute force on nearest hit distance.
+func TestIntersectMatchesBruteForce(t *testing.T) {
+	s, b := buildScene(t, "SPNZA")
+	cam := s.Cam
+	cam.Finalize(1)
+	rng := vecmath.NewRNG(99)
+	for i := 0; i < 300; i++ {
+		r := cam.Ray(rng.Float32(), rng.Float32())
+		hit, ok := b.Intersect(r, nil)
+
+		bestT := r.TMax
+		bestTri := int32(-1)
+		for ti, tri := range s.Tris {
+			probe := r
+			probe.TMax = bestT
+			if tt, hok := tri.Hit(probe); hok {
+				bestT = tt
+				bestTri = int32(ti)
+			}
+		}
+		if ok != (bestTri >= 0) {
+			t.Fatalf("ray %d: bvh ok=%v brute=%v", i, ok, bestTri >= 0)
+		}
+		if ok {
+			diff := hit.T - bestT
+			if diff < 0 {
+				diff = -diff
+			}
+			if diff > 1e-3*bestT+1e-4 {
+				t.Fatalf("ray %d: bvh t=%v brute t=%v", i, hit.T, bestT)
+			}
+		}
+	}
+}
+
+func TestIntersectAnyAgreesWithIntersect(t *testing.T) {
+	s, b := buildScene(t, "CHSNT")
+	cam := s.Cam
+	cam.Finalize(1)
+	rng := vecmath.NewRNG(123)
+	for i := 0; i < 500; i++ {
+		r := cam.Ray(rng.Float32(), rng.Float32())
+		_, full := b.Intersect(r, nil)
+		any := b.IntersectAny(r, nil)
+		if full != any {
+			t.Fatalf("ray %d: Intersect=%v IntersectAny=%v", i, full, any)
+		}
+	}
+}
+
+func TestVisitStepsConsistent(t *testing.T) {
+	_, b := buildScene(t, "BUNNY")
+	r := vecmath.NewRay(vecmath.V(0, 0.8, -1.2), vecmath.V(0.02, 0.02, 1).Norm())
+	var steps []Step
+	_, _ = b.Intersect(r, func(s Step) { steps = append(steps, s) })
+	if len(steps) == 0 {
+		t.Fatal("no steps recorded for a ray aimed at the bunny")
+	}
+	for _, s := range steps {
+		n := &b.Nodes[s.Node]
+		if s.Leaf != n.Leaf() {
+			t.Errorf("step node %d leaf mismatch", s.Node)
+		}
+		if s.Leaf && s.TriTests != n.TriCount {
+			t.Errorf("leaf %d tested %d of %d tris", s.Node, s.TriTests, n.TriCount)
+		}
+		if !s.Leaf && s.TriTests != 0 {
+			t.Errorf("interior %d reported %d tri tests", s.Node, s.TriTests)
+		}
+	}
+	// The same ray must re-traverse identically (determinism).
+	var again []Step
+	_, _ = b.Intersect(r, func(s Step) { again = append(again, s) })
+	if len(again) != len(steps) {
+		t.Fatalf("revisit produced %d steps, first %d", len(again), len(steps))
+	}
+	for i := range steps {
+		if steps[i] != again[i] {
+			t.Fatalf("step %d differs between traversals", i)
+		}
+	}
+}
+
+func TestMissingRayVisitsNothing(t *testing.T) {
+	_, b := buildScene(t, "SPRNG")
+	// Aim far away from the two objects.
+	r := vecmath.NewRay(vecmath.V(0, 100, 0), vecmath.V(0, 1, 0))
+	calls := 0
+	_, ok := b.Intersect(r, func(Step) { calls++ })
+	if ok {
+		t.Error("ray into the void reported a hit")
+	}
+	if calls != 0 {
+		t.Errorf("root-missing ray visited %d nodes", calls)
+	}
+}
+
+func TestNodeAddressing(t *testing.T) {
+	if NodeAddr(0) != NodeBase {
+		t.Errorf("NodeAddr(0) = %#x", NodeAddr(0))
+	}
+	if NodeAddr(3)-NodeAddr(2) != NodeBytes {
+		t.Errorf("node stride = %d", NodeAddr(3)-NodeAddr(2))
+	}
+	if TriAddr(5)-TriAddr(4) != TriBytes {
+		t.Errorf("tri stride = %d", TriAddr(5)-TriAddr(4))
+	}
+	if NodeAddr(1<<20) >= TriBase {
+		t.Errorf("node pool overlaps triangle pool for large trees")
+	}
+}
+
+func TestStatsSane(t *testing.T) {
+	_, b := buildScene(t, "PARK")
+	st := b.ComputeStats()
+	if st.Leaves == 0 || st.Nodes < st.Leaves {
+		t.Errorf("stats: %+v", st)
+	}
+	if st.SAHCost <= 0 {
+		t.Errorf("SAH cost %v", st.SAHCost)
+	}
+	// A binned SAH tree over PARK must be reasonably balanced.
+	if st.MaxDepth > 64 {
+		t.Errorf("depth %d too deep for %d nodes", st.MaxDepth, st.Nodes)
+	}
+}

@@ -1,0 +1,209 @@
+package bvh
+
+import (
+	"zatel/internal/vecmath"
+)
+
+// Step records one traversal step: the node that was fetched and, for
+// leaves, how many triangle tests it triggered. The trace generator turns
+// Steps into the memory reads and intersection-pipeline operations the RT
+// unit executes.
+type Step struct {
+	// Node is the fetched node's index.
+	Node int32
+	// Leaf reports whether the node was a leaf.
+	Leaf bool
+	// TriTests is the number of triangle intersection tests performed
+	// (zero for interior nodes).
+	TriTests int32
+}
+
+// Hit describes the nearest intersection found.
+type Hit struct {
+	// T is the hit distance along the ray.
+	T float32
+	// Tri is the index of the hit triangle in the original scene order.
+	Tri int32
+	// Slot is the leaf-order position of the triangle (for TriAddr).
+	Slot int32
+}
+
+// maxStack bounds the traversal stack. A BVH over n triangles with leaf
+// size ≥ 1 has depth ≤ n, but SAH trees stay well under 64 for any scene in
+// the library; the tests assert this.
+const maxStack = 96
+
+// Intersect finds the nearest triangle intersection along r. If visit is
+// non-nil it is invoked once per fetched node in traversal order.
+// It returns the hit and whether one was found.
+func (b *BVH) Intersect(r vecmath.Ray, visit func(Step)) (Hit, bool) {
+	best := Hit{T: r.TMax, Tri: -1, Slot: -1}
+	if len(b.Nodes) == 0 {
+		return best, false
+	}
+	if _, ok := b.Nodes[0].Bounds.Hit(r); !ok {
+		return best, false
+	}
+
+	var stack [maxStack]int32
+	sp := 0
+	stack[sp] = 0
+	sp++
+
+	for sp > 0 {
+		sp--
+		ni := stack[sp]
+		node := &b.Nodes[ni]
+
+		if node.Leaf() {
+			tests := int32(0)
+			for i := node.FirstTri; i < node.FirstTri+node.TriCount; i++ {
+				tests++
+				ti := b.TriIndex[i]
+				probe := r
+				probe.TMax = best.T
+				if t, ok := b.Tris[ti].Hit(probe); ok {
+					best = Hit{T: t, Tri: ti, Slot: i}
+				}
+			}
+			if visit != nil {
+				visit(Step{Node: ni, Leaf: true, TriTests: tests})
+			}
+			continue
+		}
+
+		if visit != nil {
+			visit(Step{Node: ni, Leaf: false})
+		}
+
+		// Test both children (their boxes travel with the parent fetch in
+		// hardware layouts) and push the nearer one last so it pops first.
+		li, ri := ni+1, node.Right
+		probe := r
+		probe.TMax = best.T
+		tl, hl := b.Nodes[li].Bounds.Hit(probe)
+		tr, hr := b.Nodes[ri].Bounds.Hit(probe)
+		switch {
+		case hl && hr:
+			if tl > tr {
+				li, ri = ri, li
+			}
+			stack[sp] = ri
+			sp++
+			stack[sp] = li
+			sp++
+		case hl:
+			stack[sp] = li
+			sp++
+		case hr:
+			stack[sp] = ri
+			sp++
+		}
+	}
+	return best, best.Tri >= 0
+}
+
+// IntersectAny reports whether any triangle blocks r within its interval —
+// the shadow-ray query. Traversal order is unimportant; it exits on the
+// first hit. visit, if non-nil, observes fetched nodes exactly as in
+// Intersect.
+func (b *BVH) IntersectAny(r vecmath.Ray, visit func(Step)) bool {
+	if len(b.Nodes) == 0 {
+		return false
+	}
+	if _, ok := b.Nodes[0].Bounds.Hit(r); !ok {
+		return false
+	}
+
+	var stack [maxStack]int32
+	sp := 0
+	stack[sp] = 0
+	sp++
+
+	for sp > 0 {
+		sp--
+		ni := stack[sp]
+		node := &b.Nodes[ni]
+
+		if node.Leaf() {
+			tests := int32(0)
+			hit := false
+			for i := node.FirstTri; i < node.FirstTri+node.TriCount; i++ {
+				tests++
+				if _, ok := b.Tris[b.TriIndex[i]].Hit(r); ok {
+					hit = true
+					break
+				}
+			}
+			if visit != nil {
+				visit(Step{Node: ni, Leaf: true, TriTests: tests})
+			}
+			if hit {
+				return true
+			}
+			continue
+		}
+
+		if visit != nil {
+			visit(Step{Node: ni, Leaf: false})
+		}
+		li, ri := ni+1, node.Right
+		if _, ok := b.Nodes[li].Bounds.Hit(r); ok {
+			stack[sp] = li
+			sp++
+		}
+		if _, ok := b.Nodes[ri].Bounds.Hit(r); ok {
+			stack[sp] = ri
+			sp++
+		}
+	}
+	return false
+}
+
+// Stats summarises structural quality of the tree.
+type Stats struct {
+	Nodes       int
+	Leaves      int
+	MaxDepth    int
+	MaxLeafTris int
+	// SAHCost is the expected traversal cost under the surface-area
+	// heuristic, normalised by the root area.
+	SAHCost float64
+}
+
+// ComputeStats walks the tree and returns its Stats.
+func (b *BVH) ComputeStats() Stats {
+	var st Stats
+	st.Nodes = len(b.Nodes)
+	rootArea := float64(b.Nodes[0].Bounds.SurfaceArea())
+
+	type item struct {
+		node  int32
+		depth int
+	}
+	stack := []item{{0, 1}}
+	for len(stack) > 0 {
+		it := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		n := &b.Nodes[it.node]
+		if it.depth > st.MaxDepth {
+			st.MaxDepth = it.depth
+		}
+		area := float64(n.Bounds.SurfaceArea())
+		if n.Leaf() {
+			st.Leaves++
+			if int(n.TriCount) > st.MaxLeafTris {
+				st.MaxLeafTris = int(n.TriCount)
+			}
+			if rootArea > 0 {
+				st.SAHCost += area / rootArea * float64(n.TriCount)
+			}
+			continue
+		}
+		if rootArea > 0 {
+			st.SAHCost += area / rootArea
+		}
+		stack = append(stack, item{it.node + 1, it.depth + 1}, item{n.Right, it.depth + 1})
+	}
+	return st
+}

@@ -1,0 +1,193 @@
+// Package cache implements the set-associative tag arrays used for the
+// simulated L1D caches (fully associative, per Table II) and L2 slices
+// (16-way). The cache is a pure state machine over line addresses — hit
+// latencies, MSHR timing and fill scheduling are orchestrated by the timing
+// model in internal/gpu, which keeps this package trivially testable.
+package cache
+
+import "fmt"
+
+// Config sizes a cache instance.
+type Config struct {
+	SizeBytes int
+	LineBytes int
+	// Assoc is the set associativity; 0 means fully associative.
+	Assoc int
+}
+
+// Stats counts accesses. Load misses drive the Table I miss-rate metrics;
+// stores are write-through/no-allocate and tracked separately.
+type Stats struct {
+	LoadAccesses  uint64
+	LoadMisses    uint64
+	StoreAccesses uint64
+	StoreHits     uint64
+	Evictions     uint64
+}
+
+// MissRate returns load misses over load accesses (0 when idle).
+func (s Stats) MissRate() float64 {
+	if s.LoadAccesses == 0 {
+		return 0
+	}
+	return float64(s.LoadMisses) / float64(s.LoadAccesses)
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(other Stats) {
+	s.LoadAccesses += other.LoadAccesses
+	s.LoadMisses += other.LoadMisses
+	s.StoreAccesses += other.StoreAccesses
+	s.StoreHits += other.StoreHits
+	s.Evictions += other.Evictions
+}
+
+// node is one resident line in a set's intrusive LRU list.
+type node struct {
+	line       uint64
+	prev, next *node
+}
+
+// set is one associativity set with an LRU replacement list.
+type set struct {
+	cap   int
+	lines map[uint64]*node
+	// head is the most recently used line, tail the eviction victim.
+	head, tail *node
+}
+
+// Cache is a single tag array.
+type Cache struct {
+	cfg     Config
+	sets    []set
+	numSets int
+	stats   Stats
+}
+
+// New validates cfg and returns an empty cache.
+func New(cfg Config) (*Cache, error) {
+	if cfg.LineBytes <= 0 || cfg.SizeBytes <= 0 {
+		return nil, fmt.Errorf("cache: non-positive size or line (%d, %d)", cfg.SizeBytes, cfg.LineBytes)
+	}
+	if cfg.SizeBytes%cfg.LineBytes != 0 {
+		return nil, fmt.Errorf("cache: size %d not a multiple of line %d", cfg.SizeBytes, cfg.LineBytes)
+	}
+	numLines := cfg.SizeBytes / cfg.LineBytes
+	assoc := cfg.Assoc
+	if assoc == 0 {
+		assoc = numLines // fully associative
+	}
+	if numLines%assoc != 0 {
+		return nil, fmt.Errorf("cache: %d lines not divisible by associativity %d", numLines, assoc)
+	}
+	numSets := numLines / assoc
+	c := &Cache{cfg: cfg, numSets: numSets, sets: make([]set, numSets)}
+	for i := range c.sets {
+		c.sets[i] = set{cap: assoc, lines: make(map[uint64]*node, assoc)}
+	}
+	return c, nil
+}
+
+// LineAddr truncates addr to its line address.
+func (c *Cache) LineAddr(addr uint64) uint64 {
+	return addr &^ uint64(c.cfg.LineBytes-1)
+}
+
+func (c *Cache) setOf(line uint64) *set {
+	idx := (line / uint64(c.cfg.LineBytes)) % uint64(c.numSets)
+	return &c.sets[idx]
+}
+
+// Load probes the cache for the line containing addr, updating LRU order
+// and statistics. It reports whether the line was present; on a miss the
+// caller is responsible for fetching and later calling Install.
+func (c *Cache) Load(addr uint64) bool {
+	line := c.LineAddr(addr)
+	s := c.setOf(line)
+	c.stats.LoadAccesses++
+	if n, ok := s.lines[line]; ok {
+		s.touch(n)
+		return true
+	}
+	c.stats.LoadMisses++
+	return false
+}
+
+// Store probes for a write-through store. Hits refresh LRU order; misses do
+// not allocate. It reports whether the line was present.
+func (c *Cache) Store(addr uint64) bool {
+	line := c.LineAddr(addr)
+	s := c.setOf(line)
+	c.stats.StoreAccesses++
+	if n, ok := s.lines[line]; ok {
+		c.stats.StoreHits++
+		s.touch(n)
+		return true
+	}
+	return false
+}
+
+// Contains probes without perturbing LRU order or statistics.
+func (c *Cache) Contains(addr uint64) bool {
+	line := c.LineAddr(addr)
+	_, ok := c.setOf(line).lines[line]
+	return ok
+}
+
+// Install places the line containing addr into its set as MRU, evicting the
+// LRU victim if the set is full. Installing a line already present just
+// refreshes it.
+func (c *Cache) Install(addr uint64) {
+	line := c.LineAddr(addr)
+	s := c.setOf(line)
+	if n, ok := s.lines[line]; ok {
+		s.touch(n)
+		return
+	}
+	if len(s.lines) >= s.cap {
+		victim := s.tail
+		s.unlink(victim)
+		delete(s.lines, victim.line)
+		c.stats.Evictions++
+	}
+	n := &node{line: line}
+	s.lines[line] = n
+	s.pushFront(n)
+}
+
+// Stats returns a copy of the counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+func (s *set) touch(n *node) {
+	if s.head == n {
+		return
+	}
+	s.unlink(n)
+	s.pushFront(n)
+}
+
+func (s *set) pushFront(n *node) {
+	n.prev = nil
+	n.next = s.head
+	if s.head != nil {
+		s.head.prev = n
+	}
+	s.head = n
+	if s.tail == nil {
+		s.tail = n
+	}
+}
+
+func (s *set) unlink(n *node) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		s.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		s.tail = n.prev
+	}
+	n.prev, n.next = nil, nil
+}

@@ -1,0 +1,216 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func mustNew(t *testing.T, cfg Config) *Cache {
+	t.Helper()
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestNewValidation(t *testing.T) {
+	bad := []Config{
+		{SizeBytes: 0, LineBytes: 128},
+		{SizeBytes: 1024, LineBytes: 0},
+		{SizeBytes: 1000, LineBytes: 128},           // size not line multiple
+		{SizeBytes: 1024, LineBytes: 128, Assoc: 3}, // 8 lines not divisible by 3
+	}
+	for i, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+func TestLineAddr(t *testing.T) {
+	c := mustNew(t, Config{SizeBytes: 1024, LineBytes: 128, Assoc: 2})
+	if got := c.LineAddr(0x1234); got != 0x1200 {
+		t.Errorf("LineAddr(0x1234) = %#x", got)
+	}
+	if got := c.LineAddr(0x1280); got != 0x1280 {
+		t.Errorf("LineAddr(0x1280) = %#x", got)
+	}
+}
+
+func TestMissThenInstallThenHit(t *testing.T) {
+	c := mustNew(t, Config{SizeBytes: 1024, LineBytes: 128, Assoc: 2})
+	if c.Load(0x1000) {
+		t.Fatal("cold load hit")
+	}
+	c.Install(0x1000)
+	if !c.Load(0x1040) { // same line, different offset
+		t.Fatal("load after install missed")
+	}
+	st := c.Stats()
+	if st.LoadAccesses != 2 || st.LoadMisses != 1 {
+		t.Errorf("stats %+v", st)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	// 2-way set: lines mapping to the same set evict in LRU order.
+	c := mustNew(t, Config{SizeBytes: 4 * 128, LineBytes: 128, Assoc: 2})
+	// With 4 lines and 2-way assoc there are 2 sets; stride of
+	// 2*128 keeps addresses in set 0.
+	a, b, d := uint64(0), uint64(256), uint64(512)
+	c.Install(a)
+	c.Install(b)
+	c.Load(a) // a becomes MRU
+	c.Install(d)
+	if c.Contains(b) {
+		t.Error("LRU victim b survived")
+	}
+	if !c.Contains(a) || !c.Contains(d) {
+		t.Error("expected a and d resident")
+	}
+	if c.Stats().Evictions != 1 {
+		t.Errorf("evictions = %d", c.Stats().Evictions)
+	}
+}
+
+func TestFullyAssociativeUsesWholeCapacity(t *testing.T) {
+	// Fully associative: any 8 distinct lines fit regardless of address.
+	c := mustNew(t, Config{SizeBytes: 8 * 128, LineBytes: 128, Assoc: 0})
+	for i := 0; i < 8; i++ {
+		c.Install(uint64(i) * 128 * 977) // scattered addresses
+	}
+	for i := 0; i < 8; i++ {
+		if !c.Contains(uint64(i) * 128 * 977) {
+			t.Fatalf("line %d evicted from non-full fully-assoc cache", i)
+		}
+	}
+	c.Install(9 * 128 * 977)
+	if c.Stats().Evictions != 1 {
+		t.Errorf("expected exactly one eviction, got %d", c.Stats().Evictions)
+	}
+}
+
+func TestStoreNoAllocate(t *testing.T) {
+	c := mustNew(t, Config{SizeBytes: 1024, LineBytes: 128, Assoc: 2})
+	if c.Store(0x2000) {
+		t.Error("store to absent line reported hit")
+	}
+	if c.Contains(0x2000) {
+		t.Error("store allocated a line")
+	}
+	c.Install(0x2000)
+	if !c.Store(0x2000) {
+		t.Error("store to resident line missed")
+	}
+	st := c.Stats()
+	if st.StoreAccesses != 2 || st.StoreHits != 1 {
+		t.Errorf("store stats %+v", st)
+	}
+	// Stores must not affect load miss accounting.
+	if st.LoadAccesses != 0 {
+		t.Errorf("stores counted as loads: %+v", st)
+	}
+}
+
+func TestInstallIdempotent(t *testing.T) {
+	c := mustNew(t, Config{SizeBytes: 1024, LineBytes: 128, Assoc: 2})
+	c.Install(0x100)
+	c.Install(0x100)
+	if c.Stats().Evictions != 0 {
+		t.Error("double install evicted")
+	}
+	if !c.Contains(0x100) {
+		t.Error("line lost after double install")
+	}
+}
+
+func TestMissRate(t *testing.T) {
+	var s Stats
+	if s.MissRate() != 0 {
+		t.Error("idle miss rate non-zero")
+	}
+	s = Stats{LoadAccesses: 4, LoadMisses: 1}
+	if s.MissRate() != 0.25 {
+		t.Errorf("miss rate %v", s.MissRate())
+	}
+}
+
+func TestStatsAdd(t *testing.T) {
+	a := Stats{LoadAccesses: 1, LoadMisses: 2, StoreAccesses: 3, StoreHits: 4, Evictions: 5}
+	b := Stats{LoadAccesses: 10, LoadMisses: 20, StoreAccesses: 30, StoreHits: 40, Evictions: 50}
+	a.Add(b)
+	want := Stats{LoadAccesses: 11, LoadMisses: 22, StoreAccesses: 33, StoreHits: 44, Evictions: 55}
+	if a != want {
+		t.Errorf("Add = %+v", a)
+	}
+}
+
+// Property: the resident-set size never exceeds capacity, and a load
+// immediately after install always hits.
+func TestCapacityProperty(t *testing.T) {
+	f := func(addrs []uint32) bool {
+		c, err := New(Config{SizeBytes: 16 * 64, LineBytes: 64, Assoc: 4})
+		if err != nil {
+			return false
+		}
+		resident := 0
+		for _, a := range addrs {
+			addr := uint64(a)
+			if !c.Load(addr) {
+				c.Install(addr)
+				if !c.Load(addr) {
+					return false
+				}
+			}
+			resident = 0
+			for _, s := range c.sets {
+				resident += len(s.lines)
+				if len(s.lines) > s.cap {
+					return false
+				}
+			}
+		}
+		return resident <= 16
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: LRU stack property — a cache of capacity 2N contains everything
+// a same-shape cache of capacity N contains (inclusion for fully
+// associative LRU).
+func TestLRUInclusionProperty(t *testing.T) {
+	f := func(addrs []uint16) bool {
+		small, err := New(Config{SizeBytes: 8 * 64, LineBytes: 64, Assoc: 0})
+		if err != nil {
+			return false
+		}
+		big, err := New(Config{SizeBytes: 16 * 64, LineBytes: 64, Assoc: 0})
+		if err != nil {
+			return false
+		}
+		for _, a := range addrs {
+			addr := uint64(a)
+			if !small.Load(addr) {
+				small.Install(addr)
+			}
+			if !big.Load(addr) {
+				big.Install(addr)
+			}
+			// Inclusion check.
+			for _, s := range small.sets {
+				for line := range s.lines {
+					if !big.Contains(line) {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,64 @@
+// Package combine implements step 7 of the Zatel pipeline (Section III-H):
+// merging the per-group simulator outputs into the final full-GPU
+// prediction. Throughput metrics (IPC) sum across groups because the
+// original GPU executes all groups concurrently; time (simulation cycles)
+// averages across the load-balanced groups; rate metrics (cache miss
+// rates, RT efficiency, DRAM metrics) average because each group samples
+// the same homogeneous workload.
+package combine
+
+import (
+	"fmt"
+
+	"zatel/internal/extrapolate"
+	"zatel/internal/metrics"
+)
+
+// GroupValues holds one group's per-metric values after extrapolation.
+type GroupValues map[metrics.Metric]float64
+
+// Linear converts a group's simulator report into extrapolated metric
+// values: absolute metrics are scaled by 1/fraction (Section III-G's
+// baseline extrapolation); rate metrics pass through.
+func Linear(rep metrics.Report, fraction float64) (GroupValues, error) {
+	out := make(GroupValues, len(metrics.All()))
+	for _, m := range metrics.All() {
+		v := rep.Value(m)
+		if m.Absolute() {
+			scaled, err := extrapolate.Linear(v, fraction)
+			if err != nil {
+				return nil, fmt.Errorf("combine: %s: %w", m, err)
+			}
+			v = scaled
+		}
+		out[m] = v
+	}
+	return out, nil
+}
+
+// Merge combines per-group values into the final prediction.
+func Merge(groups []GroupValues) (GroupValues, error) {
+	if len(groups) == 0 {
+		return nil, fmt.Errorf("combine: no groups")
+	}
+	out := make(GroupValues, len(metrics.All()))
+	n := float64(len(groups))
+	for _, m := range metrics.All() {
+		var sum float64
+		for gi, g := range groups {
+			v, ok := g[m]
+			if !ok {
+				return nil, fmt.Errorf("combine: group %d missing metric %s", gi, m)
+			}
+			sum += v
+		}
+		if m == metrics.IPC {
+			// Concurrent halves of the GPU add their throughput
+			// (Section III-H's 20+50=70 example).
+			out[m] = sum
+		} else {
+			out[m] = sum / n
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,108 @@
+package combine
+
+import (
+	"math"
+	"testing"
+
+	"zatel/internal/metrics"
+)
+
+func groupReport(cycles, instr uint64) metrics.Report {
+	return metrics.Report{
+		Cycles:            cycles,
+		Instructions:      instr,
+		L1DAccesses:       100,
+		L1DMisses:         30,
+		L2Accesses:        10,
+		L2Misses:          5,
+		RTActiveRayCycles: 400,
+		RTWarpSlotCycles:  100,
+		DRAMEff:           0.5,
+		DRAMBWUtil:        0.2,
+	}
+}
+
+func TestLinearScalesOnlyAbsolutes(t *testing.T) {
+	rep := groupReport(1000, 5000)
+	vals, err := Linear(rep, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vals[metrics.SimCycles] != 4000 {
+		t.Errorf("cycles = %v, want 4000", vals[metrics.SimCycles])
+	}
+	// Rates pass through unscaled.
+	if vals[metrics.L1DMissRate] != 0.3 {
+		t.Errorf("L1D miss rate = %v", vals[metrics.L1DMissRate])
+	}
+	if vals[metrics.IPC] != 5 {
+		t.Errorf("IPC = %v, want the group's raw 5", vals[metrics.IPC])
+	}
+	if _, err := Linear(rep, 0); err == nil {
+		t.Error("fraction 0 accepted")
+	}
+}
+
+func TestMergePaperExample(t *testing.T) {
+	// Section III-H: groups with IPC 20 / miss 0.70 and IPC 50 / miss
+	// 0.60 combine to IPC 70 and miss 0.65.
+	g1 := GroupValues{}
+	g2 := GroupValues{}
+	for _, m := range metrics.All() {
+		g1[m], g2[m] = 0, 0
+	}
+	g1[metrics.IPC], g2[metrics.IPC] = 20, 50
+	g1[metrics.L1DMissRate], g2[metrics.L1DMissRate] = 0.70, 0.60
+
+	out, err := Merge([]GroupValues{g1, g2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[metrics.IPC] != 70 {
+		t.Errorf("combined IPC = %v, want 70", out[metrics.IPC])
+	}
+	if math.Abs(out[metrics.L1DMissRate]-0.65) > 1e-12 {
+		t.Errorf("combined miss rate = %v, want 0.65", out[metrics.L1DMissRate])
+	}
+}
+
+func TestMergeCyclesAverage(t *testing.T) {
+	g1, g2 := GroupValues{}, GroupValues{}
+	for _, m := range metrics.All() {
+		g1[m], g2[m] = 0, 0
+	}
+	g1[metrics.SimCycles], g2[metrics.SimCycles] = 1000, 3000
+	out, err := Merge([]GroupValues{g1, g2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[metrics.SimCycles] != 2000 {
+		t.Errorf("combined cycles = %v, want mean 2000", out[metrics.SimCycles])
+	}
+}
+
+func TestMergeValidation(t *testing.T) {
+	if _, err := Merge(nil); err == nil {
+		t.Error("empty groups accepted")
+	}
+	incomplete := GroupValues{metrics.IPC: 1}
+	if _, err := Merge([]GroupValues{incomplete}); err == nil {
+		t.Error("missing metric accepted")
+	}
+}
+
+func TestSingleGroupIsIdentity(t *testing.T) {
+	vals, err := Linear(groupReport(500, 1000), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Merge([]GroupValues{vals})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range metrics.All() {
+		if out[m] != vals[m] {
+			t.Errorf("%s changed through single-group merge: %v -> %v", m, vals[m], out[m])
+		}
+	}
+}

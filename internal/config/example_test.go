@@ -1,0 +1,38 @@
+package config_test
+
+import (
+	"fmt"
+
+	"zatel/internal/config"
+)
+
+// Zatel's downscaling rule: K is the gcd of the SM count and the memory
+// partition count, and dividing by K preserves each partition's L2 slice.
+func ExampleDownscaleFactor() {
+	cfg := config.RTX2060()
+	k := config.DownscaleFactor(cfg)
+	down, _ := cfg.Downscale(k)
+	fmt.Println("K:", k)
+	fmt.Println("SMs:", cfg.NumSMs, "->", down.NumSMs)
+	fmt.Println("partitions:", cfg.NumMemPartitions, "->", down.NumMemPartitions)
+	fmt.Println("L2 per partition unchanged:",
+		cfg.L2BytesPerPartition() == down.L2BytesPerPartition())
+	// Output:
+	// K: 6
+	// SMs: 30 -> 5
+	// partitions: 12 -> 2
+	// L2 per partition unchanged: true
+}
+
+// The Section III-C example: an 80-SM GPU with 10 memory controllers
+// downscales by K=10 to 8 SMs and 1 partition.
+func ExampleConfig_Downscale() {
+	cfg := config.RTX2060()
+	cfg.NumSMs = 80
+	cfg.NumMemPartitions = 10
+	cfg.TotalL2Bytes = 10 << 20
+	down, _ := cfg.Downscale(config.DownscaleFactor(cfg))
+	fmt.Println(down.NumSMs, "SMs,", down.NumMemPartitions, "partition")
+	// Output:
+	// 8 SMs, 1 partition
+}

@@ -1,0 +1,77 @@
+package core
+
+import (
+	"sync"
+	"time"
+
+	"zatel/internal/config"
+	"zatel/internal/gpu"
+	"zatel/internal/metrics"
+	"zatel/internal/rt"
+)
+
+// Reference runs the full workload on the full GPU configuration — the
+// ground truth Zatel's predictions are evaluated against. Threads launch in
+// natural row-major warp order.
+//
+// References are memoised: the evaluation recomputes the same ground truth
+// for every sweep point, and a cache turns that into a one-time cost (the
+// recorded WallTime is always the original simulation time, so speedup
+// measurements stay honest).
+func Reference(cfgFull config.Config, sceneName string, width, height, spp int) (metrics.Report, error) {
+	key := refKey{cfg: cfgFull, scene: sceneName, w: width, h: height, spp: spp}
+	refMu.Lock()
+	if rep, ok := refCache[key]; ok {
+		refMu.Unlock()
+		return rep, nil
+	}
+	refMu.Unlock()
+
+	wl, err := rt.CachedWorkload(sceneName, width, height, spp)
+	if err != nil {
+		return metrics.Report{}, err
+	}
+	start := time.Now()
+	rep, err := gpu.Run(gpu.Job{Cfg: cfgFull, Traces: wl.Traces})
+	if err != nil {
+		return metrics.Report{}, err
+	}
+	rep.WallTime = time.Since(start)
+
+	refMu.Lock()
+	refCache[key] = rep
+	refMu.Unlock()
+	return rep, nil
+}
+
+type refKey struct {
+	cfg       config.Config
+	scene     string
+	w, h, spp int
+}
+
+var (
+	refMu    sync.Mutex
+	refCache = map[refKey]metrics.Report{}
+)
+
+// Errors compares a prediction against a reference report and returns the
+// per-metric absolute errors.
+func (r *Result) Errors(ref metrics.Report) map[metrics.Metric]float64 {
+	out := make(map[metrics.Metric]float64, len(metrics.All()))
+	for _, m := range metrics.All() {
+		out[m] = metrics.AbsErr(r.Predicted[m], ref.Value(m))
+	}
+	return out
+}
+
+// Speedup returns the simulation-time speedup of this prediction relative
+// to the reference full simulation: reference wall time divided by Zatel's
+// preprocessing plus (parallel) simulation wall time.
+func (r *Result) Speedup(ref metrics.Report) float64 {
+	own := r.PreprocessTime + r.SimWallTime
+	if own <= 0 {
+		return 0
+	}
+	return float64(ref.WallTime) / float64(own)
+}

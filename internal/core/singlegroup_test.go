@@ -1,0 +1,53 @@
+package core
+
+import (
+	"testing"
+
+	"zatel/internal/config"
+	"zatel/internal/metrics"
+)
+
+func TestSingleGroupMode(t *testing.T) {
+	opts := small("BUNNY")
+	opts.SingleGroup = true
+	opts.FixedFraction = 1
+	res, err := Predict(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Groups) != 1 {
+		t.Fatalf("SingleGroup ran %d groups", len(res.Groups))
+	}
+	if res.K != 4 {
+		t.Fatalf("K = %d", res.K)
+	}
+	// IPC must be the group's throughput scaled by K.
+	groupIPC := res.Groups[0].Report.Value(metrics.IPC)
+	if got := res.Predicted[metrics.IPC]; got < groupIPC*3.9 || got > groupIPC*4.1 {
+		t.Errorf("predicted IPC %v, want ≈4x group IPC %v", got, groupIPC)
+	}
+	// Cycles are the group's own (one slice stands in for the frame).
+	if got := res.Predicted[metrics.SimCycles]; got != float64(res.Groups[0].Report.Cycles) {
+		t.Errorf("predicted cycles %v != group cycles %d", got, res.Groups[0].Report.Cycles)
+	}
+}
+
+func TestSingleGroupPredictsReferenceShape(t *testing.T) {
+	ref, err := Reference(config.MobileSoC(), "BUNNY", 64, 64, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := small("BUNNY")
+	opts.SingleGroup = true
+	opts.FixedFraction = 1
+	res, err := Predict(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The downscaled single group must land in the right ballpark for
+	// cycles (the Section IV-E result: <12% for fine division at paper
+	// scale; allow a loose 60% at this tiny test frame).
+	if e := res.Errors(ref)[metrics.SimCycles]; e > 0.6 {
+		t.Errorf("single-group cycles error %v too high", e)
+	}
+}

@@ -1,0 +1,171 @@
+// Package dram models one GDDR channel per memory partition as an analytic
+// FIFO server: each read request is assigned a completion cycle from the
+// channel's row-buffer state, transfer bandwidth and queue occupancy. The
+// model produces the two Table I DRAM metrics — efficiency (utilization
+// while requests are pending) and raw bandwidth utilization — without
+// per-cycle ticking, which keeps the simulator fast.
+package dram
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Config sizes a channel.
+type Config struct {
+	// BytesPerCycle is the peak transfer bandwidth in bytes per core
+	// clock cycle.
+	BytesPerCycle float64
+	// RowBytes is the row-buffer size; consecutive reads within a row
+	// avoid the activation penalty.
+	RowBytes int
+	// RowMissCycles is the precharge+activate penalty on a row switch.
+	RowMissCycles int
+	// BaseLatency is the pipeline latency added to every response (CAS
+	// plus controller overhead); it does not occupy the channel.
+	BaseLatency int
+	// QueueDepth bounds in-flight requests; a full queue delays the next
+	// request's service start (backpressure).
+	QueueDepth int
+}
+
+// Channel is one DRAM channel. Not safe for concurrent use; the simulator
+// owns one per memory partition.
+type Channel struct {
+	cfg Config
+
+	lastFree     uint64 // cycle the server becomes free
+	openRow      uint64
+	rowValid     bool
+	coveredUntil uint64 // high edge of the union of pending intervals
+
+	inflight doneHeap
+
+	// Counters.
+	reads         uint64
+	bytesRead     uint64
+	busyCycles    uint64 // cycles the channel spent transferring/activating
+	pendingCycles uint64 // cycles with at least one request outstanding
+	rowHits       uint64
+	rowMisses     uint64
+}
+
+// NewChannel validates cfg and returns an idle channel.
+func NewChannel(cfg Config) (*Channel, error) {
+	if cfg.BytesPerCycle <= 0 {
+		return nil, fmt.Errorf("dram: BytesPerCycle %v must be positive", cfg.BytesPerCycle)
+	}
+	if cfg.RowBytes <= 0 {
+		return nil, fmt.Errorf("dram: RowBytes %d must be positive", cfg.RowBytes)
+	}
+	if cfg.RowMissCycles < 0 || cfg.BaseLatency < 0 {
+		return nil, fmt.Errorf("dram: negative latency")
+	}
+	if cfg.QueueDepth <= 0 {
+		return nil, fmt.Errorf("dram: QueueDepth %d must be positive", cfg.QueueDepth)
+	}
+	return &Channel{cfg: cfg}, nil
+}
+
+// Read enqueues a read of size bytes at addr arriving at cycle now and
+// returns the cycle its data is available. now must not decrease across
+// calls (the simulator issues requests in cycle order).
+func (ch *Channel) Read(addr uint64, bytes int, now uint64) uint64 {
+	// Retire completed requests from the occupancy window.
+	for ch.inflight.Len() > 0 && ch.inflight.min() <= now {
+		heap.Pop(&ch.inflight)
+	}
+
+	start := max(now, ch.lastFree)
+	if ch.inflight.Len() >= ch.cfg.QueueDepth {
+		// Queue full: the request cannot even enter until one retires.
+		start = max(start, ch.inflight.min())
+	}
+
+	row := addr / uint64(ch.cfg.RowBytes)
+	service := uint64(0)
+	if !ch.rowValid || row != ch.openRow {
+		service += uint64(ch.cfg.RowMissCycles)
+		ch.rowMisses++
+		ch.openRow = row
+		ch.rowValid = true
+	} else {
+		ch.rowHits++
+	}
+	transfer := uint64(float64(bytes)/ch.cfg.BytesPerCycle + 0.999999)
+	if transfer == 0 {
+		transfer = 1
+	}
+	service += transfer
+
+	busyEnd := start + service
+	done := busyEnd + uint64(ch.cfg.BaseLatency)
+	ch.lastFree = busyEnd
+
+	// Accounting.
+	ch.reads++
+	ch.bytesRead += uint64(bytes)
+	ch.busyCycles += service
+	// Extend the union of [arrival, done] intervals.
+	lo := max(now, ch.coveredUntil)
+	if done > lo {
+		ch.pendingCycles += done - lo
+		ch.coveredUntil = done
+	}
+
+	heap.Push(&ch.inflight, done)
+	return done
+}
+
+// Stats summarises channel activity over a run of totalCycles core cycles.
+type Stats struct {
+	Reads      uint64
+	BytesRead  uint64
+	BusyCycles uint64
+	// PendingCycles is the number of cycles with ≥1 outstanding request.
+	PendingCycles uint64
+	RowHits       uint64
+	RowMisses     uint64
+	// Efficiency is achieved bandwidth while requests were pending,
+	// relative to peak (Table I "DRAM Efficiency").
+	Efficiency float64
+	// Utilization is achieved bandwidth over the whole run, relative to
+	// peak (Table I "Bandwidth Utilization").
+	Utilization float64
+}
+
+// Stats computes the channel's summary for a run lasting totalCycles.
+func (ch *Channel) Stats(totalCycles uint64) Stats {
+	s := Stats{
+		Reads:         ch.reads,
+		BytesRead:     ch.bytesRead,
+		BusyCycles:    ch.busyCycles,
+		PendingCycles: ch.pendingCycles,
+		RowHits:       ch.rowHits,
+		RowMisses:     ch.rowMisses,
+	}
+	peak := ch.cfg.BytesPerCycle
+	if ch.pendingCycles > 0 {
+		s.Efficiency = float64(ch.bytesRead) / (float64(ch.pendingCycles) * peak)
+	}
+	if totalCycles > 0 {
+		s.Utilization = float64(ch.bytesRead) / (float64(totalCycles) * peak)
+	}
+	return s
+}
+
+// doneHeap is a min-heap of completion cycles.
+type doneHeap []uint64
+
+func (h doneHeap) Len() int            { return len(h) }
+func (h doneHeap) Less(i, j int) bool  { return h[i] < h[j] }
+func (h doneHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *doneHeap) Push(x interface{}) { *h = append(*h, x.(uint64)) }
+func (h *doneHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	v := old[n-1]
+	*h = old[:n-1]
+	return v
+}
+func (h doneHeap) min() uint64 { return h[0] }

@@ -1,0 +1,158 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"zatel/internal/config"
+	"zatel/internal/core"
+	"zatel/internal/metrics"
+	"zatel/internal/scene"
+)
+
+// The Section IV-E downscaling experiments (Figs. 17, 18 and 19): sweep the
+// downscaling factor, simulate a single downscaled group tracing all of its
+// 1/K pixels, and compare against the full simulation. K must divide both
+// the SM count and the memory-partition count, so each configuration has
+// its own valid sweep.
+
+// ValidFactors returns the downscaling factors in [2, 6] that divide the
+// configuration's component counts (the paper sweeps 2–6).
+func ValidFactors(cfg config.Config) []int {
+	var ks []int
+	for k := 2; k <= 6; k++ {
+		if cfg.NumSMs%k == 0 && cfg.NumMemPartitions%k == 0 {
+			ks = append(ks, k)
+		}
+	}
+	return ks
+}
+
+// DownscalePoint is one (scene, K, division) measurement.
+type DownscalePoint struct {
+	Scene    string
+	K        int
+	Division core.Division
+	Errors   map[metrics.Metric]float64
+	SimWall  time.Duration
+	RefWall  time.Duration
+	Speedup  float64
+}
+
+// DownscaleResult backs Figs. 17/18 (errors per factor, fine vs coarse) and
+// Fig. 19 (speedup per factor).
+type DownscaleResult struct {
+	Settings Settings
+	Config   string
+	Scenes   []string
+	Factors  []int
+	// Points indexed [division][scene][factor position].
+	Points map[core.Division]map[string][]DownscalePoint
+}
+
+// DownscaleSweep runs the downscaling-factor sweep on the given scenes
+// with both division methods.
+func DownscaleSweep(s Settings, cfg config.Config, scenes []string) (*DownscaleResult, error) {
+	if err := s.validate(); err != nil {
+		return nil, err
+	}
+	if len(scenes) == 0 {
+		scenes = scene.RepresentativeSubset()
+	}
+	factors := ValidFactors(cfg)
+	if len(factors) == 0 {
+		return nil, fmt.Errorf("downscale: no valid factors for %s", cfg.Name)
+	}
+	out := &DownscaleResult{
+		Settings: s,
+		Config:   cfg.Name,
+		Scenes:   scenes,
+		Factors:  factors,
+		Points:   map[core.Division]map[string][]DownscalePoint{},
+	}
+	for _, div := range []core.Division{core.FineGrained, core.CoarseGrained} {
+		out.Points[div] = map[string][]DownscalePoint{}
+		for _, sc := range scenes {
+			ref, err := s.reference(cfg, sc)
+			if err != nil {
+				return nil, err
+			}
+			pts := make([]DownscalePoint, 0, len(factors))
+			for _, k := range factors {
+				opts := s.baseOptions(cfg, sc)
+				opts.K = k
+				opts.Division = div
+				opts.SingleGroup = true
+				opts.FixedFraction = 1 // trace every pixel of the group
+				res, err := core.Predict(opts)
+				if err != nil {
+					return nil, fmt.Errorf("downscale %s K=%d %s: %w", sc, k, div, err)
+				}
+				pts = append(pts, DownscalePoint{
+					Scene:    sc,
+					K:        k,
+					Division: div,
+					Errors:   res.Errors(ref),
+					SimWall:  res.PreprocessTime + res.SimWallTime,
+					RefWall:  ref.WallTime,
+					Speedup:  res.Speedup(ref),
+				})
+			}
+			out.Points[div][sc] = pts
+		}
+	}
+	return out, nil
+}
+
+// RenderErrors prints the per-metric mean error (over scenes) per factor
+// for both division methods — the content of Fig. 17 (representative
+// subset) or Fig. 18 (all scenes), depending on which scenes were swept.
+func (r *DownscaleResult) RenderErrors(w io.Writer, figure string) {
+	fmt.Fprintf(w, "%s — mean error per downscaling factor over %d scenes (%s, %dx%d)\n",
+		figure, len(r.Scenes), r.Config, r.Settings.Width, r.Settings.Height)
+	for _, div := range []core.Division{core.FineGrained, core.CoarseGrained} {
+		fmt.Fprintf(w, "\n%s-grained division:\n", div)
+		hr(w, 24+14*len(metrics.All()))
+		fmt.Fprintf(w, "%-6s", "K")
+		for _, m := range metrics.All() {
+			fmt.Fprintf(w, "%22s", m)
+		}
+		fmt.Fprintln(w)
+		for ki, k := range r.Factors {
+			fmt.Fprintf(w, "%-6d", k)
+			for _, m := range metrics.All() {
+				sum := 0.0
+				for _, sc := range r.Scenes {
+					sum += r.Points[div][sc][ki].Errors[m]
+				}
+				fmt.Fprintf(w, "%22s", pct(sum/float64(len(r.Scenes))))
+			}
+			fmt.Fprintln(w)
+		}
+	}
+	fmt.Fprintln(w, "\n(paper: fine-grained keeps cycles/IPC error <12% even at K=6; DRAM-side metrics")
+	fmt.Fprintln(w, " degrade with downscaling; coarse-grained is less stable than fine-grained)")
+}
+
+// RenderSpeedup prints Fig. 19: speedup per scene per factor (fine-grained).
+func (r *DownscaleResult) RenderSpeedup(w io.Writer) {
+	fmt.Fprintf(w, "Fig. 19 — speedup from GPU downscaling (%s, fine-grained, %dx%d)\n",
+		r.Config, r.Settings.Width, r.Settings.Height)
+	hr(w, 12+12*len(r.Scenes))
+	fmt.Fprintf(w, "%-6s", "K")
+	for _, sc := range r.Scenes {
+		fmt.Fprintf(w, "%12s", sc)
+	}
+	fmt.Fprintln(w)
+	fine := r.Points[core.FineGrained]
+	for ki, k := range r.Factors {
+		fmt.Fprintf(w, "%-6d", k)
+		for _, sc := range r.Scenes {
+			fmt.Fprintf(w, "%11.1fx", fine[sc][ki].Speedup)
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w, "(paper: downscaling speedups track the pixel-reduction speedups of Fig. 15 —")
+	fmt.Fprintln(w, " downscaling itself does not significantly reduce execution time)")
+}

@@ -1,0 +1,79 @@
+// Package experiments contains the drivers that regenerate every table and
+// figure of the paper's evaluation (Section IV). Each driver returns a
+// typed result with a Render method that prints the same rows/series the
+// paper reports; cmd/sweep exposes them as subcommands and bench_test.go
+// wraps them in testing.B benchmarks.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"zatel/internal/config"
+	"zatel/internal/core"
+	"zatel/internal/metrics"
+	"zatel/internal/scene"
+)
+
+// Settings hold the frame parameters shared by all experiments. The paper
+// evaluates at 512×512 with 2 samples per pixel; the default here is
+// 256×256 with 1 spp so the full suite reruns in tens of minutes on one
+// CPU core while both Table II GPUs still execute multiple warp waves
+// (the regime Zatel's linear extrapolation assumes — see DESIGN.md).
+type Settings struct {
+	Width  int
+	Height int
+	SPP    int
+}
+
+// Default returns the evaluation default (256×256, 1 spp).
+func Default() Settings { return Settings{Width: 256, Height: 256, SPP: 1} }
+
+// Small returns a reduced setting for smoke tests.
+func Small() Settings { return Settings{Width: 48, Height: 48, SPP: 1} }
+
+func (s Settings) validate() error {
+	if s.Width <= 0 || s.Height <= 0 || s.SPP <= 0 {
+		return fmt.Errorf("experiments: invalid settings %+v", s)
+	}
+	return nil
+}
+
+// baseOptions assembles the shared core options for a scene/config pair.
+func (s Settings) baseOptions(cfg config.Config, sceneName string) core.Options {
+	return core.Options{
+		Config: cfg,
+		Scene:  sceneName,
+		Width:  s.Width,
+		Height: s.Height,
+		SPP:    s.SPP,
+	}
+}
+
+// reference fetches (and memoises) the ground-truth full simulation.
+func (s Settings) reference(cfg config.Config, sceneName string) (metrics.Report, error) {
+	return core.Reference(cfg, sceneName, s.Width, s.Height, s.SPP)
+}
+
+// Configs returns the two Table II configurations in paper order.
+func Configs() []config.Config {
+	return []config.Config{config.MobileSoC(), config.RTX2060()}
+}
+
+// AllScenes returns the LumiBench scene names used in the evaluation.
+func AllScenes() []string { return scene.Names() }
+
+// fmtDur prints a duration with millisecond precision.
+func fmtDur(d time.Duration) string { return d.Round(time.Millisecond).String() }
+
+// pct formats a fraction as a percentage.
+func pct(x float64) string { return fmt.Sprintf("%.1f%%", 100*x) }
+
+// hr writes a horizontal rule sized to n characters.
+func hr(w io.Writer, n int) {
+	for i := 0; i < n; i++ {
+		fmt.Fprint(w, "-")
+	}
+	fmt.Fprintln(w)
+}

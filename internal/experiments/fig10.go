@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"zatel/internal/core"
+	"zatel/internal/metrics"
+)
+
+// Fig10Result reproduces Fig. 10 (absolute error of each metric for the
+// fully optimized Zatel on PARK, both GPU configurations) together with the
+// Section IV-B headline numbers: per-config MAE and speedup, plus the
+// 10%-cap Mobile SoC variant the paper uses to reach ~50× speedup.
+type Fig10Result struct {
+	Settings Settings
+	// Errors[config][metric] is the absolute error of the prediction.
+	Errors map[string]map[metrics.Metric]float64
+	// MAE and Speedup are per config name.
+	MAE     map[string]float64
+	Speedup map[string]float64
+	// K records the downscaling factor per config.
+	K map[string]int
+	// Capped holds the MaxFraction=0.1 Mobile SoC run (MAE and speedup).
+	CappedMAE     float64
+	CappedSpeedup float64
+}
+
+// Fig10 runs the fully optimized Zatel (fine-grained division, Eq. 1
+// budget, uniform distribution, linear extrapolation) on PARK for both
+// Table II configurations.
+func Fig10(s Settings) (*Fig10Result, error) {
+	if err := s.validate(); err != nil {
+		return nil, err
+	}
+	out := &Fig10Result{
+		Settings: s,
+		Errors:   map[string]map[metrics.Metric]float64{},
+		MAE:      map[string]float64{},
+		Speedup:  map[string]float64{},
+		K:        map[string]int{},
+	}
+	for _, cfg := range Configs() {
+		ref, err := s.reference(cfg, "PARK")
+		if err != nil {
+			return nil, err
+		}
+		res, err := core.Predict(s.baseOptions(cfg, "PARK"))
+		if err != nil {
+			return nil, err
+		}
+		errs := res.Errors(ref)
+		out.Errors[cfg.Name] = errs
+		out.MAE[cfg.Name] = metrics.MAE(errs, metrics.All())
+		out.Speedup[cfg.Name] = res.Speedup(ref)
+		out.K[cfg.Name] = res.K
+	}
+
+	// The drastically-reduced variant: trace at most 10% of each group.
+	soc := Configs()[0]
+	ref, err := s.reference(soc, "PARK")
+	if err != nil {
+		return nil, err
+	}
+	opts := s.baseOptions(soc, "PARK")
+	opts.MaxFraction = 0.1
+	res, err := core.Predict(opts)
+	if err != nil {
+		return nil, err
+	}
+	out.CappedMAE = metrics.MAE(res.Errors(ref), metrics.All())
+	out.CappedSpeedup = res.Speedup(ref)
+	return out, nil
+}
+
+// Render prints the figure as a table: one row per metric, one column per
+// configuration.
+func (r *Fig10Result) Render(w io.Writer) {
+	fmt.Fprintf(w, "Fig. 10 — absolute error per metric, fully optimized Zatel on PARK (%dx%d, %d spp)\n",
+		r.Settings.Width, r.Settings.Height, r.Settings.SPP)
+	hr(w, 72)
+	names := make([]string, 0, len(r.Errors))
+	for name := range r.Errors {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Fprintf(w, "%-22s", "Metric")
+	for _, n := range names {
+		fmt.Fprintf(w, "%16s", n)
+	}
+	fmt.Fprintln(w)
+	for _, m := range metrics.All() {
+		fmt.Fprintf(w, "%-22s", m)
+		for _, n := range names {
+			fmt.Fprintf(w, "%16s", pct(r.Errors[n][m]))
+		}
+		fmt.Fprintln(w)
+	}
+	hr(w, 72)
+	fmt.Fprintf(w, "%-22s", "MAE")
+	for _, n := range names {
+		fmt.Fprintf(w, "%16s", pct(r.MAE[n]))
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "%-22s", "Speedup")
+	for _, n := range names {
+		fmt.Fprintf(w, "%15.1fx", r.Speedup[n])
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "%-22s", "K")
+	for _, n := range names {
+		fmt.Fprintf(w, "%16d", r.K[n])
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "MobileSoC capped at 10%% pixels: MAE %s, speedup %.1fx\n",
+		pct(r.CappedMAE), r.CappedSpeedup)
+	fmt.Fprintf(w, "(paper: MAE 4.5%% SoC / 15.1%% RTX, ~10x speedup; 50x at 10%% cap with 5.2%% MAE)\n")
+}

@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"zatel/internal/combine"
+	"zatel/internal/config"
+	"zatel/internal/core"
+	"zatel/internal/metrics"
+)
+
+// Fig20Result reproduces the Section IV-F extrapolation study: exponential
+// regression through runs at 20/30/40% of pixels versus simply tracing 40%
+// and extrapolating linearly (the baseline). The paper found regression
+// loses more than it gains; the WorseCount/total ratio captures that.
+type Fig20Result struct {
+	Settings Settings
+	Config   string
+	Scenes   []string
+	// RegErr and DirectErr map [scene][metric] to the absolute error of
+	// the regression prediction and of the direct 40% prediction.
+	RegErr    map[string]map[metrics.Metric]float64
+	DirectErr map[string]map[metrics.Metric]float64
+	// WorseCount counts (scene, metric) pairs where regression is less
+	// accurate; Total is the number of pairs.
+	WorseCount int
+	Total      int
+}
+
+// Fig20 runs the regression-vs-direct comparison on every scene. The
+// regression prediction reuses its own 40% run as the direct baseline, so
+// each scene costs three simulations.
+func Fig20(s Settings, cfg config.Config, scenes []string) (*Fig20Result, error) {
+	if err := s.validate(); err != nil {
+		return nil, err
+	}
+	if len(scenes) == 0 {
+		scenes = AllScenes()
+	}
+	out := &Fig20Result{
+		Settings:  s,
+		Config:    cfg.Name,
+		Scenes:    scenes,
+		RegErr:    map[string]map[metrics.Metric]float64{},
+		DirectErr: map[string]map[metrics.Metric]float64{},
+	}
+	for _, sc := range scenes {
+		ref, err := s.reference(cfg, sc)
+		if err != nil {
+			return nil, err
+		}
+		opts := s.baseOptions(cfg, sc)
+		opts.NoDownscale = true
+		opts.Regression = true
+		res, err := core.Predict(opts)
+		if err != nil {
+			return nil, fmt.Errorf("fig20 %s: %w", sc, err)
+		}
+		out.RegErr[sc] = res.Errors(ref)
+
+		// The direct baseline: linear extrapolation of the 40% run the
+		// regression already performed.
+		direct, err := combine.Linear(res.Groups[0].Report, res.Groups[0].Fraction)
+		if err != nil {
+			return nil, err
+		}
+		derr := map[metrics.Metric]float64{}
+		for _, m := range metrics.All() {
+			derr[m] = metrics.AbsErr(direct[m], ref.Value(m))
+		}
+		out.DirectErr[sc] = derr
+
+		for _, m := range metrics.All() {
+			out.Total++
+			if out.RegErr[sc][m] > derr[m]+1e-12 {
+				out.WorseCount++
+			}
+		}
+	}
+	return out, nil
+}
+
+// Render prints per-scene regression vs direct errors and the paper's
+// headline ratio.
+func (r *Fig20Result) Render(w io.Writer) {
+	fmt.Fprintf(w, "Fig. 20 — exponential regression (20/30/40%%) vs direct 40%% (%s, %dx%d)\n",
+		r.Config, r.Settings.Width, r.Settings.Height)
+	for _, sc := range r.Scenes {
+		fmt.Fprintf(w, "\n%s:\n", sc)
+		hr(w, 64)
+		fmt.Fprintf(w, "%-22s%14s%14s%10s\n", "Metric", "regression", "direct 40%", "worse?")
+		for _, m := range metrics.All() {
+			worse := ""
+			if r.RegErr[sc][m] > r.DirectErr[sc][m]+1e-12 {
+				worse = "yes"
+			}
+			fmt.Fprintf(w, "%-22s%14s%14s%10s\n",
+				m, pct(r.RegErr[sc][m]), pct(r.DirectErr[sc][m]), worse)
+		}
+	}
+	frac := 0.0
+	if r.Total > 0 {
+		frac = float64(r.WorseCount) / float64(r.Total)
+	}
+	fmt.Fprintf(w, "\nregression worse on %d/%d metric-scene pairs (%.0f%%)\n",
+		r.WorseCount, r.Total, 100*frac)
+	fmt.Fprintln(w, "(paper: 62% of metrics worse with regression on RTX 2060 — no clear advantage")
+	fmt.Fprintln(w, " while costing three simulator runs)")
+}

@@ -1,0 +1,177 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"zatel/internal/config"
+	"zatel/internal/core"
+	"zatel/internal/extrapolate"
+	"zatel/internal/metrics"
+)
+
+// SweepPoint is one (scene, percent) measurement of the Section IV-D sweep:
+// Zatel run on a fixed fraction of pixels with no GPU downscaling.
+type SweepPoint struct {
+	Scene   string
+	Percent int
+	// Errors holds the per-metric absolute error against the reference.
+	Errors map[metrics.Metric]float64
+	// SimWall is Zatel's preprocessing+simulation wall time; RefWall the
+	// full simulation's.
+	SimWall time.Duration
+	RefWall time.Duration
+	// Speedup is RefWall / SimWall.
+	Speedup float64
+}
+
+// SweepResult is the shared data behind Figs. 13, 14, 15 and 16: the same
+// {10%,…,90%} × scene grid viewed through four lenses.
+type SweepResult struct {
+	Settings Settings
+	Config   string
+	Scenes   []string
+	Percents []int
+	// Points is indexed [scene][percent position].
+	Points map[string][]SweepPoint
+	// FitA/FitB is the Eq. 4-style power fit speedup = A·perc^B derived
+	// from all measured speedups.
+	FitA, FitB float64
+}
+
+// PercentSweep runs Zatel at {10..90}% of pixels without downscaling on
+// every scene (Section IV-D) and collects errors, running times and
+// speedups.
+func PercentSweep(s Settings, cfg config.Config, scenes []string) (*SweepResult, error) {
+	if err := s.validate(); err != nil {
+		return nil, err
+	}
+	if len(scenes) == 0 {
+		scenes = AllScenes()
+	}
+	percents := []int{10, 20, 30, 40, 50, 60, 70, 80, 90}
+	out := &SweepResult{
+		Settings: s,
+		Config:   cfg.Name,
+		Scenes:   scenes,
+		Percents: percents,
+		Points:   map[string][]SweepPoint{},
+	}
+	var xs, ys []float64
+	for _, sc := range scenes {
+		ref, err := s.reference(cfg, sc)
+		if err != nil {
+			return nil, err
+		}
+		pts := make([]SweepPoint, 0, len(percents))
+		for _, p := range percents {
+			opts := s.baseOptions(cfg, sc)
+			opts.NoDownscale = true
+			opts.FixedFraction = float64(p) / 100
+			res, err := core.Predict(opts)
+			if err != nil {
+				return nil, fmt.Errorf("sweep %s@%d%%: %w", sc, p, err)
+			}
+			pt := SweepPoint{
+				Scene:   sc,
+				Percent: p,
+				Errors:  res.Errors(ref),
+				SimWall: res.PreprocessTime + res.SimWallTime,
+				RefWall: ref.WallTime,
+				Speedup: res.Speedup(ref),
+			}
+			pts = append(pts, pt)
+			if pt.Speedup > 0 {
+				xs = append(xs, float64(p))
+				ys = append(ys, pt.Speedup)
+			}
+		}
+		out.Points[sc] = pts
+	}
+	if a, b, err := extrapolate.PowerFit(xs, ys); err == nil {
+		out.FitA, out.FitB = a, b
+	}
+	return out, nil
+}
+
+// RenderFig13 prints the simulation-cycles error per scene against the
+// percentage of pixels traced.
+func (r *SweepResult) RenderFig13(w io.Writer) {
+	fmt.Fprintf(w, "Fig. 13 — simulation cycles error per scene (%s, %dx%d)\n",
+		r.Config, r.Settings.Width, r.Settings.Height)
+	r.renderPerScene(w, func(pt SweepPoint) string { return pct(pt.Errors[metrics.SimCycles]) })
+	fmt.Fprintln(w, "(paper: errors converge exponentially to 0; SPRNG is the >100% outlier at 10%)")
+}
+
+// RenderFig14 prints Zatel's running time per scene.
+func (r *SweepResult) RenderFig14(w io.Writer) {
+	fmt.Fprintf(w, "Fig. 14 — Zatel running time per scene (%s, %dx%d)\n",
+		r.Config, r.Settings.Width, r.Settings.Height)
+	r.renderPerScene(w, func(pt SweepPoint) string { return fmtDur(pt.SimWall) })
+	fmt.Fprintln(w, "(paper: time grows linearly with % pixels; BATH is the longest-running scene)")
+}
+
+// RenderFig15 prints the speedup per scene plus the Eq. 4 fit.
+func (r *SweepResult) RenderFig15(w io.Writer) {
+	fmt.Fprintf(w, "Fig. 15 — running-time speedup per scene (%s, %dx%d)\n",
+		r.Config, r.Settings.Width, r.Settings.Height)
+	r.renderPerScene(w, func(pt SweepPoint) string { return fmt.Sprintf("%.1fx", pt.Speedup) })
+	fmt.Fprintf(w, "power fit: speedup(perc) = %.1f * perc^%.2f   (paper Eq. 4: 181 * perc^-1.15)\n",
+		r.FitA, r.FitB)
+	fmt.Fprintf(w, "Eq. 4 reference at 10/50/90%%: %.1fx / %.1fx / %.1fx\n",
+		extrapolate.SpeedupModel(10), extrapolate.SpeedupModel(50), extrapolate.SpeedupModel(90))
+}
+
+// RenderFig16 prints the per-metric mean/min/max absolute error over all
+// scenes per percentage.
+func (r *SweepResult) RenderFig16(w io.Writer) {
+	fmt.Fprintf(w, "Fig. 16 — per-metric error over all scenes (%s, %dx%d): mean [min..max]\n",
+		r.Config, r.Settings.Width, r.Settings.Height)
+	hr(w, 110)
+	fmt.Fprintf(w, "%-6s", "%px")
+	for _, m := range metrics.All() {
+		fmt.Fprintf(w, "%26s", m)
+	}
+	fmt.Fprintln(w)
+	for pi, p := range r.Percents {
+		fmt.Fprintf(w, "%-6d", p)
+		for _, m := range metrics.All() {
+			lo, hi, sum := math.Inf(1), math.Inf(-1), 0.0
+			n := 0
+			for _, sc := range r.Scenes {
+				e := r.Points[sc][pi].Errors[m]
+				if math.IsInf(e, 0) {
+					continue
+				}
+				lo, hi = math.Min(lo, e), math.Max(hi, e)
+				sum += e
+				n++
+			}
+			if n == 0 {
+				fmt.Fprintf(w, "%26s", "-")
+				continue
+			}
+			fmt.Fprintf(w, "%9s [%5.1f..%6.1f]", pct(sum/float64(n)), 100*lo, 100*hi)
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w, "(paper: MAE decreases exponentially with % traced; cache metrics saturate fastest)")
+}
+
+func (r *SweepResult) renderPerScene(w io.Writer, cell func(SweepPoint) string) {
+	hr(w, 12+12*len(r.Scenes))
+	fmt.Fprintf(w, "%-6s", "%px")
+	for _, sc := range r.Scenes {
+		fmt.Fprintf(w, "%12s", sc)
+	}
+	fmt.Fprintln(w)
+	for pi, p := range r.Percents {
+		fmt.Fprintf(w, "%-6d", p)
+		for _, sc := range r.Scenes {
+			fmt.Fprintf(w, "%12s", cell(r.Points[sc][pi]))
+		}
+		fmt.Fprintln(w)
+	}
+}

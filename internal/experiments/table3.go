@@ -1,0 +1,173 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"zatel/internal/config"
+	"zatel/internal/core"
+	"zatel/internal/metrics"
+	"zatel/internal/sampling"
+)
+
+// Table III of the paper tunes two Zatel parameters — the colour
+// distribution (uniform / lintmp / exptmp) and the section-block size
+// (32×1, 32×2, 32×16, 32×32) — on the three temperature-profile scenes
+// SHIP (coldest), WKND (mixed) and BUNNY (warmest), tracing only 2–4% of
+// pixels and averaging five random selections.
+
+// Table3Scenes are the tuning scenes in paper order.
+func Table3Scenes() []string { return []string{"SHIP", "WKND", "BUNNY"} }
+
+// Table3Dists are the candidate distributions.
+func Table3Dists() []sampling.Distribution {
+	return []sampling.Distribution{sampling.Uniform, sampling.LinTmp, sampling.ExpTmp}
+}
+
+// Table3Sections are the candidate section-block heights (width fixed at
+// the warp size, 32).
+func Table3Sections() []int { return []int{1, 2, 16, 32} }
+
+// Table3Cell is one (distribution, section) configuration's average error
+// for one metric on one scene.
+type Table3Cell struct {
+	Dist    sampling.Distribution
+	Section int // block height; width is always 32
+	Err     float64
+}
+
+// Table3Best summarises one metric row of the table for one scene.
+type Table3Best struct {
+	// BestDist / BestSection name the winner, or "any" when the options
+	// are within 10% relative error of each other.
+	BestDist    string
+	BestSection string
+	// MAE is the winning configuration's error.
+	MAE float64
+}
+
+// Table3Result holds the full grid plus the per-metric winners.
+type Table3Result struct {
+	Settings Settings
+	Config   string
+	// Cells[scene][metric] lists every configuration tried.
+	Cells map[string]map[metrics.Metric][]Table3Cell
+	// Best[scene][metric] is the winning configuration.
+	Best map[string]map[metrics.Metric]Table3Best
+	// SceneMAE averages the best-cell errors per scene (the paper reports
+	// 21.0% SHIP, 13.9% WKND, 8.5% BUNNY).
+	SceneMAE map[string]float64
+}
+
+// Table3 runs the tuning grid: 3 scenes × 3 distributions × 4 section
+// sizes × reps random selections at 3% of pixels.
+func Table3(s Settings, cfg config.Config, reps int) (*Table3Result, error) {
+	if err := s.validate(); err != nil {
+		return nil, err
+	}
+	if reps <= 0 {
+		reps = 5
+	}
+	out := &Table3Result{
+		Settings: s,
+		Config:   cfg.Name,
+		Cells:    map[string]map[metrics.Metric][]Table3Cell{},
+		Best:     map[string]map[metrics.Metric]Table3Best{},
+		SceneMAE: map[string]float64{},
+	}
+	for _, sc := range Table3Scenes() {
+		ref, err := s.reference(cfg, sc)
+		if err != nil {
+			return nil, err
+		}
+		out.Cells[sc] = map[metrics.Metric][]Table3Cell{}
+		for _, dist := range Table3Dists() {
+			for _, section := range Table3Sections() {
+				sums := map[metrics.Metric]float64{}
+				for rep := 0; rep < reps; rep++ {
+					opts := s.baseOptions(cfg, sc)
+					opts.NoDownscale = true
+					opts.Division = core.CoarseGrained
+					opts.BlockW, opts.BlockH = 32, section
+					opts.Dist = dist
+					opts.FixedFraction = 0.03
+					opts.Seed = uint64(rep)*977 + 13
+					res, err := core.Predict(opts)
+					if err != nil {
+						return nil, fmt.Errorf("table3 %s/%s/32x%d: %w", sc, dist, section, err)
+					}
+					for m, e := range res.Errors(ref) {
+						sums[m] += e
+					}
+				}
+				for _, m := range metrics.All() {
+					out.Cells[sc][m] = append(out.Cells[sc][m], Table3Cell{
+						Dist:    dist,
+						Section: section,
+						Err:     sums[m] / float64(reps),
+					})
+				}
+			}
+		}
+		// Pick winners per metric.
+		out.Best[sc] = map[metrics.Metric]Table3Best{}
+		var maeSum float64
+		for _, m := range metrics.All() {
+			best := pickBest(out.Cells[sc][m])
+			out.Best[sc][m] = best
+			maeSum += best.MAE
+		}
+		out.SceneMAE[sc] = maeSum / float64(len(metrics.All()))
+	}
+	return out, nil
+}
+
+// pickBest finds the lowest-error cell and decides whether the distribution
+// or section choice actually matters ("any" when all options land within
+// 10% relative of the winner).
+func pickBest(cells []Table3Cell) Table3Best {
+	best := cells[0]
+	for _, c := range cells[1:] {
+		if c.Err < best.Err {
+			best = c
+		}
+	}
+	tol := best.Err*1.10 + 1e-9
+	distMatters, sectionMatters := false, false
+	// The distribution matters if some other distribution (at the best
+	// section size) exceeds the tolerance; likewise for sections.
+	for _, c := range cells {
+		if c.Section == best.Section && c.Err > tol {
+			distMatters = true
+		}
+		if c.Dist == best.Dist && c.Err > tol {
+			sectionMatters = true
+		}
+	}
+	out := Table3Best{BestDist: "any", BestSection: "any", MAE: best.Err}
+	if distMatters {
+		out.BestDist = best.Dist.String()
+	}
+	if sectionMatters {
+		out.BestSection = fmt.Sprintf("32x%d", best.Section)
+	}
+	return out
+}
+
+// Render prints the paper-style table: per scene, per metric, the best
+// distribution and section size with the resulting MAE.
+func (r *Table3Result) Render(w io.Writer) {
+	fmt.Fprintf(w, "Table III — tuning distribution and section size (%s, %dx%d, ~3%% pixels)\n",
+		r.Config, r.Settings.Width, r.Settings.Height)
+	for _, sc := range Table3Scenes() {
+		fmt.Fprintf(w, "\n%s (scene MAE %s):\n", sc, pct(r.SceneMAE[sc]))
+		hr(w, 70)
+		fmt.Fprintf(w, "%-22s%12s%14s%10s\n", "Metric", "Best Dist", "Best Section", "MAE")
+		for _, m := range metrics.All() {
+			b := r.Best[sc][m]
+			fmt.Fprintf(w, "%-22s%12s%14s%10s\n", m, b.BestDist, b.BestSection, pct(b.MAE))
+		}
+	}
+	fmt.Fprintln(w, "\n(paper: scene MAEs 21.0% SHIP / 13.9% WKND / 8.5% BUNNY — warmer scenes predict better;")
+	fmt.Fprintln(w, " most cells are \"any\"; uniform wins where it matters; exptmp favours RT metrics)")
+}

@@ -1,0 +1,25 @@
+package extrapolate_test
+
+import (
+	"fmt"
+
+	"zatel/internal/extrapolate"
+)
+
+// The paper's Section III-G example: 100,000 cycles measured while tracing
+// 10% of pixels extrapolates linearly to 1,000,000.
+func ExampleLinear() {
+	cycles, _ := extrapolate.Linear(100_000, 0.1)
+	fmt.Printf("%.0f\n", cycles)
+	// Output:
+	// 1000000
+}
+
+// Eq. 4 predicts the simulation-time speedup from the traced percentage.
+func ExampleSpeedupModel() {
+	fmt.Printf("10%%: %.1fx\n", extrapolate.SpeedupModel(10))
+	fmt.Printf("50%%: %.1fx\n", extrapolate.SpeedupModel(50))
+	// Output:
+	// 10%: 12.8x
+	// 50%: 2.0x
+}

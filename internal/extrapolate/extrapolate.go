@@ -1,0 +1,98 @@
+// Package extrapolate implements step 7's per-group prediction scaling
+// (Section III-G): linear extrapolation of absolute metrics by the traced
+// pixel fraction, the three-point exponential regression alternative
+// evaluated in Section IV-F, and the empirical speedup model of Eq. 4.
+package extrapolate
+
+import (
+	"fmt"
+	"math"
+)
+
+// Linear scales an absolute metric measured on a fraction of the pixels up
+// to the full workload: value/fraction. (The paper's example: 100,000
+// cycles at 10% extrapolates to 1,000,000.)
+func Linear(value, fraction float64) (float64, error) {
+	if fraction <= 0 || fraction > 1 {
+		return 0, fmt.Errorf("extrapolate: fraction %v out of (0,1]", fraction)
+	}
+	return value / fraction, nil
+}
+
+// ExpRegression fits y(p) = A + B·rᵖ through three equally spaced samples
+// (p[0], y[0]) … (p[2], y[2]) and returns the value extrapolated to p=1
+// (100% of pixels). The paper feeds it runs at 20%, 30% and 40%.
+//
+// Degenerate inputs — non-monotone or non-exponential sample triples —
+// return an error; callers fall back to Linear, mirroring how a practical
+// pipeline must handle regression failure.
+func ExpRegression(p, y [3]float64) (float64, error) {
+	d1 := p[1] - p[0]
+	d2 := p[2] - p[1]
+	if d1 <= 0 || math.Abs(d1-d2) > 1e-9*math.Max(d1, d2) {
+		return 0, fmt.Errorf("extrapolate: sample points %v not equally spaced ascending", p)
+	}
+	dy1 := y[1] - y[0]
+	dy2 := y[2] - y[1]
+	if dy1 == 0 {
+		if dy2 == 0 {
+			// Constant signal: already converged.
+			return y[0], nil
+		}
+		return 0, fmt.Errorf("extrapolate: flat-then-moving samples are not exponential")
+	}
+	ratio := dy2 / dy1
+	if ratio <= 0 {
+		return 0, fmt.Errorf("extrapolate: non-monotone samples (ratio %v)", ratio)
+	}
+	// ratio = r^d  =>  r = ratio^(1/d)
+	r := math.Pow(ratio, 1/d1)
+	if math.Abs(r-1) < 1e-12 {
+		// Linear growth: B·rᵖ degenerates; extend the straight line.
+		slope := dy1 / d1
+		return y[2] + slope*(1-p[2]), nil
+	}
+	// B·r^p0 satisfies y1 − y0 = B·r^p0·(r^d − 1).
+	brp0 := dy1 / (math.Pow(r, d1) - 1)
+	a := y[0] - brp0
+	val := a + brp0*math.Pow(r, 1-p[0])
+	if math.IsNaN(val) || math.IsInf(val, 0) {
+		return 0, fmt.Errorf("extrapolate: regression diverged")
+	}
+	return val, nil
+}
+
+// SpeedupModel is Eq. 4: the empirical fit predicting Zatel's simulation
+// time speedup from the percentage of pixels traced,
+// speedup(perc) = 181·perc^−1.15 for perc ≥ 10 (perc in percent, 10–100).
+func SpeedupModel(percent float64) float64 {
+	return 181 * math.Pow(percent, -1.15)
+}
+
+// PowerFit fits y = a·x^b by least squares in log-log space — the
+// procedure that produced Eq. 4 from the Fig. 15 measurements. All inputs
+// must be positive.
+func PowerFit(xs, ys []float64) (a, b float64, err error) {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return 0, 0, fmt.Errorf("extrapolate: need ≥2 paired samples, got %d/%d", len(xs), len(ys))
+	}
+	n := float64(len(xs))
+	var sx, sy, sxx, sxy float64
+	for i := range xs {
+		if xs[i] <= 0 || ys[i] <= 0 {
+			return 0, 0, fmt.Errorf("extrapolate: power fit requires positive samples")
+		}
+		lx, ly := math.Log(xs[i]), math.Log(ys[i])
+		sx += lx
+		sy += ly
+		sxx += lx * lx
+		sxy += lx * ly
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return 0, 0, fmt.Errorf("extrapolate: degenerate x samples")
+	}
+	b = (n*sxy - sx*sy) / den
+	a = math.Exp((sy - b*sx) / n)
+	return a, b, nil
+}

@@ -1,0 +1,159 @@
+package extrapolate
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestLinear(t *testing.T) {
+	// The paper's example: 100,000 cycles at 10% → 1,000,000.
+	got, err := Linear(100_000, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 1_000_000 {
+		t.Errorf("Linear = %v", got)
+	}
+	if _, err := Linear(1, 0); err == nil {
+		t.Error("fraction 0 accepted")
+	}
+	if _, err := Linear(1, 1.2); err == nil {
+		t.Error("fraction >1 accepted")
+	}
+	if v, err := Linear(42, 1); err != nil || v != 42 {
+		t.Errorf("identity fraction: %v, %v", v, err)
+	}
+}
+
+func TestExpRegressionRecoversExactExponential(t *testing.T) {
+	// y(p) = 5 + 3·0.1^p sampled at 0.2/0.3/0.4 must extrapolate to
+	// y(1) = 5.3.
+	y := func(p float64) float64 { return 5 + 3*math.Pow(0.1, p) }
+	got, err := ExpRegression(
+		[3]float64{0.2, 0.3, 0.4},
+		[3]float64{y(0.2), y(0.3), y(0.4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-y(1)) > 1e-6*y(1) {
+		t.Errorf("extrapolated %v, want %v", got, y(1))
+	}
+}
+
+func TestExpRegressionGrowingCurve(t *testing.T) {
+	// Cycles grow with traced fraction: y(p) = 1000 - 800·exp(-3p).
+	y := func(p float64) float64 { return 1000 - 800*math.Exp(-3*p) }
+	got, err := ExpRegression(
+		[3]float64{0.2, 0.3, 0.4},
+		[3]float64{y(0.2), y(0.3), y(0.4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-y(1)) > 1e-6*y(1) {
+		t.Errorf("extrapolated %v, want %v", got, y(1))
+	}
+}
+
+func TestExpRegressionConstant(t *testing.T) {
+	got, err := ExpRegression([3]float64{0.2, 0.3, 0.4}, [3]float64{7, 7, 7})
+	if err != nil || got != 7 {
+		t.Errorf("constant: %v, %v", got, err)
+	}
+}
+
+func TestExpRegressionLinearSamples(t *testing.T) {
+	// Perfectly linear samples must extend the line.
+	got, err := ExpRegression([3]float64{0.2, 0.3, 0.4}, [3]float64{2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-10) > 1e-9 {
+		t.Errorf("linear extension = %v, want 10", got)
+	}
+}
+
+func TestExpRegressionRejectsBadInputs(t *testing.T) {
+	if _, err := ExpRegression([3]float64{0.4, 0.3, 0.2}, [3]float64{1, 2, 3}); err == nil {
+		t.Error("descending points accepted")
+	}
+	if _, err := ExpRegression([3]float64{0.2, 0.3, 0.5}, [3]float64{1, 2, 3}); err == nil {
+		t.Error("unequal spacing accepted")
+	}
+	// Non-monotone (oscillating) samples.
+	if _, err := ExpRegression([3]float64{0.2, 0.3, 0.4}, [3]float64{1, 5, 2}); err == nil {
+		t.Error("oscillating samples accepted")
+	}
+	if _, err := ExpRegression([3]float64{0.2, 0.3, 0.4}, [3]float64{3, 3, 9}); err == nil {
+		t.Error("flat-then-moving accepted")
+	}
+}
+
+func TestSpeedupModelMatchesEq4(t *testing.T) {
+	// Eq. 4 endpoints: ≈12.8× at 10%, ≈1× at ~91%.
+	at10 := SpeedupModel(10)
+	if at10 < 12 || at10 > 13.5 {
+		t.Errorf("speedup(10%%) = %v, want ≈12.8", at10)
+	}
+	at100 := SpeedupModel(100)
+	if at100 < 0.8 || at100 > 1.1 {
+		t.Errorf("speedup(100%%) = %v, want ≈0.9", at100)
+	}
+	// Strictly decreasing.
+	if SpeedupModel(20) >= SpeedupModel(10) {
+		t.Error("speedup not decreasing")
+	}
+}
+
+func TestPowerFitRecoversEq4(t *testing.T) {
+	xs := []float64{10, 20, 30, 50, 70, 90}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = SpeedupModel(x)
+	}
+	a, b, err := PowerFit(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a-181) > 0.5 || math.Abs(b+1.15) > 0.01 {
+		t.Errorf("PowerFit = %v·x^%v, want 181·x^-1.15", a, b)
+	}
+}
+
+func TestPowerFitValidation(t *testing.T) {
+	if _, _, err := PowerFit([]float64{1}, []float64{1}); err == nil {
+		t.Error("single sample accepted")
+	}
+	if _, _, err := PowerFit([]float64{1, -2}, []float64{1, 1}); err == nil {
+		t.Error("negative sample accepted")
+	}
+	if _, _, err := PowerFit([]float64{2, 2}, []float64{1, 3}); err == nil {
+		t.Error("degenerate x accepted")
+	}
+}
+
+// Property: exponential regression is exact on any true exponential with
+// positive ratio.
+func TestExpRegressionProperty(t *testing.T) {
+	f := func(aRaw, bRaw, rRaw uint16) bool {
+		a := float64(aRaw)/100 - 300 // [-300, 355]
+		b := float64(bRaw)/200 + 0.5 // [0.5, 328]
+		r := float64(rRaw)/65536*2 + 0.01
+		if math.Abs(r-1) < 1e-3 {
+			return true
+		}
+		y := func(p float64) float64 { return a + b*math.Pow(r, p) }
+		got, err := ExpRegression(
+			[3]float64{0.2, 0.3, 0.4},
+			[3]float64{y(0.2), y(0.3), y(0.4)})
+		if err != nil {
+			return false
+		}
+		want := y(1)
+		tol := 1e-5 * (math.Abs(want) + 1)
+		return math.Abs(got-want) <= tol
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

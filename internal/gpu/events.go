@@ -1,0 +1,75 @@
+package gpu
+
+// The simulator is cycle-driven but event-assisted: components schedule
+// wakeups on a global min-heap so the main loop can skip cycles where
+// nothing can happen. The heap is a hand-rolled binary heap over a struct
+// slice (no interface boxing) because tens of millions of events flow
+// through it per simulated frame.
+
+type evKind uint8
+
+const (
+	// evWarpWake moves a blocked warp back to its SM's ready set.
+	evWarpWake evKind = iota
+	// evRayWork makes an RT-unit ray ready to issue its next step.
+	evRayWork
+	// evRayDone retires a ray and, when it is the warp's last, wakes the
+	// warp that issued the trace.
+	evRayDone
+	// evFetchDone releases one RT-unit MSHR slot and unstalls a waiting
+	// ray if any.
+	evFetchDone
+)
+
+type event struct {
+	cycle uint64
+	kind  evKind
+	sm    int32
+	id    int32 // warp slot or ray pool index
+	uid   int64 // warp generation tag for wake validation
+}
+
+type eventHeap struct {
+	items []event
+}
+
+func (h *eventHeap) push(e event) {
+	h.items = append(h.items, e)
+	i := len(h.items) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h.items[parent].cycle <= h.items[i].cycle {
+			break
+		}
+		h.items[parent], h.items[i] = h.items[i], h.items[parent]
+		i = parent
+	}
+}
+
+func (h *eventHeap) pop() event {
+	top := h.items[0]
+	last := len(h.items) - 1
+	h.items[0] = h.items[last]
+	h.items = h.items[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < last && h.items[l].cycle < h.items[smallest].cycle {
+			smallest = l
+		}
+		if r < last && h.items[r].cycle < h.items[smallest].cycle {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		h.items[i], h.items[smallest] = h.items[smallest], h.items[i]
+		i = smallest
+	}
+	return top
+}
+
+func (h *eventHeap) len() int { return len(h.items) }
+
+func (h *eventHeap) minCycle() uint64 { return h.items[0].cycle }

@@ -1,0 +1,489 @@
+// Package gpu is the cycle-level GPU timing model — the stand-in for the
+// Vulkan-Sim simulator the paper builds Zatel on. It replays the per-pixel
+// traces recorded by internal/rt on a configurable GPU (internal/config):
+// SIMT warps scheduled greedy-then-oldest across SMs, per-SM RT accelerator
+// units with MSHRs, fully-associative L1D caches, address-interleaved L2
+// slices behind a crossbar, and per-partition DRAM channels.
+//
+// The model is trace-driven and analytic on the memory side: loads receive
+// completion cycles from queue/bandwidth equations rather than per-cycle
+// ticking, which keeps full-frame simulations fast while preserving the
+// contention behaviour Zatel's accuracy depends on (cache capacity, DRAM
+// saturation, RT-unit occupancy).
+package gpu
+
+import (
+	"fmt"
+	"time"
+
+	"zatel/internal/cache"
+	"zatel/internal/config"
+	"zatel/internal/dram"
+	"zatel/internal/metrics"
+	"zatel/internal/noc"
+	"zatel/internal/rt"
+)
+
+// Job describes one simulation run: a GPU configuration and the thread
+// traces to execute, in warp order (consecutive groups of WarpSize threads
+// form warps). Pixels excluded by Zatel's filter mask must already be
+// replaced with rt.FilteredTrace() by the caller.
+type Job struct {
+	Cfg    config.Config
+	Traces []rt.ThreadTrace
+}
+
+// Sim is the run state. Construct with newSim; drive with run.
+type Sim struct {
+	cfg    config.Config
+	events eventHeap
+	sms    []*sm
+	mem    *memSystem
+
+	pending     []rt.ThreadTrace // not-yet-launched threads
+	pendingAt   int
+	totalWarps  int
+	retired     int
+	nextWarpUID int64
+	nextWarpAge int64
+
+	now      uint64
+	endCycle uint64
+
+	// Integrated RT statistics (value × cycles).
+	activeRaysTotal    int
+	residentWarpsTotal int
+	rtActiveRayCycles  uint64
+	rtWarpSlotCycles   uint64
+
+	l1Latency uint64
+}
+
+// Run simulates the job to completion and returns the metric report.
+func Run(job Job) (metrics.Report, error) {
+	if err := job.Cfg.Validate(); err != nil {
+		return metrics.Report{}, err
+	}
+	if len(job.Traces) == 0 {
+		return metrics.Report{}, fmt.Errorf("gpu: no threads to run")
+	}
+	start := time.Now()
+	sim, err := newSim(job)
+	if err != nil {
+		return metrics.Report{}, err
+	}
+	if err := sim.run(); err != nil {
+		return metrics.Report{}, err
+	}
+	rep := sim.report()
+	rep.WallTime = time.Since(start)
+	return rep, nil
+}
+
+func newSim(job Job) (*Sim, error) {
+	cfg := job.Cfg
+	sim := &Sim{
+		cfg:       cfg,
+		pending:   job.Traces,
+		l1Latency: uint64(cfg.L1DLatency),
+	}
+
+	xbar, err := noc.New(cfg.NumSMs, cfg.NumMemPartitions, cfg.NoCLatency)
+	if err != nil {
+		return nil, err
+	}
+	sim.mem = &memSystem{
+		xbar:      xbar,
+		lineBytes: uint64(cfg.LineBytes),
+		l2Latency: uint64(cfg.L2Latency),
+		l2MSHRs:   cfg.L2MSHRs,
+		l2TagLat:  uint64(cfg.L2Latency) / 4,
+	}
+	for p := 0; p < cfg.NumMemPartitions; p++ {
+		l2, err := cache.New(cache.Config{
+			SizeBytes: cfg.L2BytesPerPartition(),
+			LineBytes: cfg.LineBytes,
+			Assoc:     cfg.L2Assoc,
+		})
+		if err != nil {
+			return nil, err
+		}
+		ch, err := dram.NewChannel(dram.Config{
+			BytesPerCycle: cfg.DRAMBytesPerCoreCycle(),
+			RowBytes:      cfg.DRAMRowBytes,
+			RowMissCycles: cfg.DRAMRowMissLat,
+			BaseLatency:   30,
+			QueueDepth:    cfg.DRAMQueueDepth,
+		})
+		if err != nil {
+			return nil, err
+		}
+		sim.mem.partitions = append(sim.mem.partitions, &partition{
+			l2:       l2,
+			l2Flight: make(map[uint64]uint64),
+			channel:  ch,
+		})
+	}
+
+	for i := 0; i < cfg.NumSMs; i++ {
+		l1, err := cache.New(cache.Config{
+			SizeBytes: cfg.L1DBytes,
+			LineBytes: cfg.LineBytes,
+			Assoc:     cfg.L1DAssoc,
+		})
+		if err != nil {
+			return nil, err
+		}
+		core := &sm{
+			id:         i,
+			warps:      make([]warp, cfg.MaxWarpsPerSM),
+			l1:         l1,
+			l1Flight:   make(map[uint64]uint64),
+			l1MSHRs:    cfg.L1DMSHRs,
+			lastIssued: -1,
+			rt: rtUnit{
+				maxWarps:     cfg.RTMaxWarps,
+				mshrSize:     cfg.RTMSHRSize,
+				raysPerCycle: cfg.RTRaysPerCycle,
+				boxCycles:    uint64(cfg.RTBoxCycles),
+				triCycles:    uint64(cfg.RTTriCycles),
+			},
+			scratchLanes: make([]int32, 0, cfg.WarpSize),
+			scratchLines: make([]uint64, 0, cfg.WarpSize),
+		}
+		for slot := range core.warps {
+			core.warps[slot].phase = wEmpty
+		}
+		core.ready = &ageHeap{age: func(slot int32) int64 { return core.warps[slot].age }}
+		sim.sms = append(sim.sms, core)
+	}
+
+	sim.totalWarps = (len(job.Traces) + cfg.WarpSize - 1) / cfg.WarpSize
+
+	// Initial launch: fill warp slots breadth-first across SMs so work
+	// spreads evenly, as a GPU's thread-block scheduler does.
+	for slot := 0; slot < cfg.MaxWarpsPerSM && sim.pendingAt < len(sim.pending); slot++ {
+		for _, core := range sim.sms {
+			if sim.pendingAt >= len(sim.pending) {
+				break
+			}
+			sim.launchWarp(core, int32(slot))
+		}
+	}
+	return sim, nil
+}
+
+// launchWarp builds the next pending warp into the given slot.
+func (sim *Sim) launchWarp(s *sm, slot int32) {
+	n := sim.cfg.WarpSize
+	if remain := len(sim.pending) - sim.pendingAt; remain < n {
+		n = remain
+	}
+	w := &s.warps[slot]
+	*w = warp{
+		uid:     sim.nextWarpUID,
+		age:     sim.nextWarpAge,
+		threads: make([]thread, n),
+	}
+	sim.nextWarpUID++
+	sim.nextWarpAge++
+	for i := 0; i < n; i++ {
+		w.threads[i] = thread{tr: &sim.pending[sim.pendingAt+i]}
+	}
+	sim.pendingAt += n
+	s.markReady(slot)
+}
+
+// retireWarp finishes a warp, reuses its slot for pending work and records
+// the completion cycle.
+func (sim *Sim) retireWarp(s *sm, slot int32, now uint64) {
+	s.warps[slot].phase = wEmpty
+	sim.retired++
+	sim.endCycle = now
+	if sim.pendingAt < len(sim.pending) {
+		sim.launchWarp(s, slot)
+	}
+}
+
+func warpFinished(w *warp) bool {
+	for i := range w.threads {
+		if !w.threads[i].finished() {
+			return false
+		}
+	}
+	return true
+}
+
+// run executes the main loop until every warp retires.
+func (sim *Sim) run() error {
+	for sim.retired < sim.totalWarps {
+		now := sim.now
+
+		// Deliver due events.
+		for sim.events.len() > 0 && sim.events.minCycle() <= now {
+			e := sim.events.pop()
+			s := sim.sms[e.sm]
+			switch e.kind {
+			case evWarpWake:
+				w := &s.warps[e.id]
+				if w.uid != e.uid || w.phase != wBlocked {
+					break // stale wake for a reused slot
+				}
+				if warpFinished(w) && w.pendingRays == 0 {
+					sim.retireWarp(s, e.id, now)
+				} else {
+					s.markReady(e.id)
+				}
+			case evRayWork:
+				sim.rayWork(s, e.id, now)
+			case evFetchDone:
+				sim.fetchDone(s)
+			}
+		}
+
+		// Issue and tick RT units.
+		for _, s := range sim.sms {
+			for k := 0; k < sim.cfg.IssuePerCycle; k++ {
+				slot := s.pickWarp(sim.cfg.Scheduler)
+				if slot < 0 {
+					break
+				}
+				s.lastIssued = slot
+				sim.issueWarp(s, slot, now)
+			}
+			sim.rtTick(s, now)
+		}
+
+		// Advance time, skipping dead cycles when nothing is issuable.
+		next := now + 1
+		if !sim.hasImmediateWork() {
+			if sim.events.len() == 0 {
+				if sim.retired < sim.totalWarps {
+					return fmt.Errorf("gpu: deadlock at cycle %d: %d/%d warps retired",
+						now, sim.retired, sim.totalWarps)
+				}
+				break
+			}
+			if mc := sim.events.minCycle(); mc > next {
+				next = mc
+			}
+		}
+		dt := next - now
+		sim.rtActiveRayCycles += uint64(sim.activeRaysTotal) * dt
+		sim.rtWarpSlotCycles += uint64(sim.residentWarpsTotal) * dt
+		sim.now = next
+	}
+	return nil
+}
+
+func (sim *Sim) hasImmediateWork() bool {
+	for _, s := range sim.sms {
+		if s.ready.len() > 0 || len(s.rt.ready) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// issueWarp replays one SIMT instruction for the warp in the given slot.
+// Threads whose current op kind matches the leader's execute together;
+// divergent threads wait for a later issue (kind-grouped serialization).
+func (sim *Sim) issueWarp(s *sm, slot int32, now uint64) {
+	w := &s.warps[slot]
+	lanes := s.scratchLanes[:0]
+	var kind rt.OpKind
+	for i := range w.threads {
+		t := &w.threads[i]
+		if t.finished() {
+			continue
+		}
+		k := t.tr.Ops[t.op].Kind
+		if len(lanes) == 0 {
+			kind = k
+		}
+		if k == kind {
+			lanes = append(lanes, int32(i))
+		}
+	}
+	if len(lanes) == 0 {
+		// All threads finished; the warp retires immediately.
+		sim.retireWarp(s, slot, now)
+		return
+	}
+
+	switch kind {
+	case rt.OpCompute:
+		var maxArg, sumArg uint64
+		for _, li := range lanes {
+			t := &w.threads[li]
+			arg := uint64(t.tr.Ops[t.op].Arg)
+			if arg > maxArg {
+				maxArg = arg
+			}
+			sumArg += arg
+			t.op++
+		}
+		if maxArg == 0 {
+			maxArg = 1
+		}
+		s.instructions += sumArg
+		sim.block(s, slot, now+maxArg)
+
+	case rt.OpLoad:
+		lines := s.scratchLines[:0]
+		for _, li := range lanes {
+			t := &w.threads[li]
+			line := s.l1.LineAddr(uint64(t.tr.Ops[t.op].Arg))
+			t.op++
+			if !containsLine(lines, line) {
+				lines = append(lines, line)
+			}
+		}
+		var done uint64
+		for _, line := range lines {
+			if d := sim.loadLine(s, line, now); d > done {
+				done = d
+			}
+		}
+		s.instructions += uint64(len(lanes))
+		sim.block(s, slot, done)
+
+	case rt.OpStore:
+		lines := s.scratchLines[:0]
+		for _, li := range lanes {
+			t := &w.threads[li]
+			line := s.l1.LineAddr(uint64(t.tr.Ops[t.op].Arg))
+			t.op++
+			if !containsLine(lines, line) {
+				lines = append(lines, line)
+			}
+		}
+		for _, line := range lines {
+			sim.storeLine(s, line, now)
+		}
+		s.instructions += uint64(len(lanes))
+		sim.block(s, slot, now+1)
+
+	case rt.OpTrace:
+		w.rayRefs = w.rayRefs[:0]
+		for _, li := range lanes {
+			t := &w.threads[li]
+			w.rayRefs = append(w.rayRefs, &t.tr.Rays[t.tr.Ops[t.op].Arg])
+			t.op++
+		}
+		s.instructions += uint64(len(lanes))
+		sim.tryAdmit(s, slot, now)
+	}
+}
+
+// block parks the warp until cycle until.
+func (sim *Sim) block(s *sm, slot int32, until uint64) {
+	w := &s.warps[slot]
+	w.phase = wBlocked
+	sim.events.push(event{cycle: until, kind: evWarpWake, sm: int32(s.id), id: slot, uid: w.uid})
+}
+
+func containsLine(lines []uint64, line uint64) bool {
+	for _, l := range lines {
+		if l == line {
+			return true
+		}
+	}
+	return false
+}
+
+// loadLine issues a load of one cache line from SM s at cycle now and
+// returns the data-arrival cycle, walking L1 (with MSHR merge) and, on a
+// miss, the shared memory system.
+func (sim *Sim) loadLine(s *sm, addr uint64, now uint64) uint64 {
+	line := s.l1.LineAddr(addr)
+	// The LSU performs one L1 access per cycle.
+	at := max(now, s.lsuNextFree)
+	s.lsuNextFree = at + 1
+
+	if done, ok := s.l1Flight[line]; ok && done <= at {
+		delete(s.l1Flight, line)
+	}
+	hit := s.l1.Load(line)
+	if done, ok := s.l1Flight[line]; ok {
+		// Merged into an outstanding fill.
+		return max(done, at+sim.l1Latency)
+	}
+	if hit {
+		return at + sim.l1Latency
+	}
+
+	// Primary miss: reserve the tag, allocate an MSHR and fetch from L2.
+	s.l1Out -= s.l1Done.drain(at)
+	start := at + 1
+	if s.l1Out >= s.l1MSHRs {
+		// The file is full; this request takes the slot of the earliest
+		// completing fill.
+		m := s.l1Done.pop()
+		s.l1Out--
+		start = max(start, m)
+	}
+	done := sim.mem.l2Load(s.id, line, start)
+	s.l1.Install(line)
+	s.l1Flight[line] = done
+	s.l1Done.push(done)
+	s.l1Out++
+	if len(s.l1Flight) > 8*s.l1MSHRs {
+		sweep(s.l1Flight, at)
+	}
+	return done
+}
+
+// storeLine issues a write-through store of one line.
+func (sim *Sim) storeLine(s *sm, addr uint64, now uint64) {
+	line := s.l1.LineAddr(addr)
+	at := max(now, s.lsuNextFree)
+	s.lsuNextFree = at + 1
+	s.l1.Store(line)
+	sim.mem.l2Store(line, at+1)
+}
+
+// report aggregates statistics into the Table I metric report.
+func (sim *Sim) report() metrics.Report {
+	rep := metrics.Report{
+		Cycles: sim.endCycle,
+		Warps:  sim.totalWarps,
+	}
+	var l1 cache.Stats
+	for _, s := range sim.sms {
+		l1.Add(s.l1.Stats())
+		rep.Instructions += s.instructions
+		rep.RTRaysTraced += s.rt.raysTraced
+	}
+	rep.L1DAccesses = l1.LoadAccesses
+	rep.L1DMisses = l1.LoadMisses
+
+	var l2 cache.Stats
+	var bytesRead, busy, pending uint64
+	for _, p := range sim.mem.partitions {
+		l2.Add(p.l2.Stats())
+		ds := p.channel.Stats(sim.endCycle)
+		bytesRead += ds.BytesRead
+		busy += ds.BusyCycles
+		pending += ds.PendingCycles
+		rep.DRAMReads += ds.Reads
+	}
+	rep.L2Accesses = l2.LoadAccesses
+	rep.L2Misses = l2.LoadMisses
+	rep.DRAMBytesRead = bytesRead
+	rep.DRAMBusyCycles = busy
+	rep.DRAMPendingCycles = pending
+
+	peak := sim.cfg.DRAMBytesPerCoreCycle()
+	if pending > 0 {
+		rep.DRAMEff = float64(bytesRead) / (float64(pending) * peak)
+	}
+	if sim.endCycle > 0 {
+		total := float64(sim.endCycle) * peak * float64(len(sim.mem.partitions))
+		rep.DRAMBWUtil = float64(bytesRead) / total
+	}
+
+	rep.RTActiveRayCycles = sim.rtActiveRayCycles
+	rep.RTWarpSlotCycles = sim.rtWarpSlotCycles
+	return rep
+}

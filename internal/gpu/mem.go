@@ -1,0 +1,110 @@
+package gpu
+
+import (
+	"zatel/internal/cache"
+	"zatel/internal/dram"
+	"zatel/internal/noc"
+)
+
+// The memory hierarchy is modelled analytically: every load is assigned a
+// completion cycle by walking L1 → NoC → L2 slice → DRAM channel, with
+// per-component queue serialization and in-flight merge (MSHR) at each
+// cache level. Only the SMs and RT units are ticked per cycle; the memory
+// side never is, which is what makes full-frame simulation tractable.
+
+// partition is one memory partition: an L2 slice fed by the crossbar and
+// backed by one DRAM channel.
+type partition struct {
+	l2       *cache.Cache
+	l2Flight map[uint64]uint64 // line -> completion cycle
+	// l2Done/l2Out track the slice's MSHR occupancy.
+	l2Done doneQ
+	l2Out  int
+	// nextFree implements the slice's one-access-per-cycle port.
+	nextFree uint64
+	channel  *dram.Channel
+}
+
+// memSystem owns the shared memory side of the simulated GPU.
+type memSystem struct {
+	xbar       *noc.Crossbar
+	partitions []*partition
+	lineBytes  uint64
+	l2Latency  uint64
+	l2MSHRs    int
+	l2TagLat   uint64
+}
+
+// route hashes a line address to its home partition. Bits above the line
+// offset interleave lines across partitions, as GPU address mappings do to
+// spread BVH traversal traffic.
+func (ms *memSystem) route(line uint64) (int, *partition) {
+	idx := int((line / ms.lineBytes) % uint64(len(ms.partitions)))
+	return idx, ms.partitions[idx]
+}
+
+// l2Load walks a load through the crossbar, the home L2 slice and — on a
+// miss — the DRAM channel. It returns the cycle the data arrives back at
+// SM sm. now is the cycle the request leaves the L1.
+func (ms *memSystem) l2Load(sm int, line uint64, now uint64) uint64 {
+	pidx, p := ms.route(line)
+	arrive := ms.xbar.ToPartition(pidx, now)
+
+	// Slice port serialization.
+	svc := max(arrive, p.nextFree)
+	p.nextFree = svc + 1
+
+	// Lazy completion of an earlier fetch of the same line.
+	if done, ok := p.l2Flight[line]; ok && done <= svc {
+		delete(p.l2Flight, line)
+	}
+	hit := p.l2.Load(line)
+	if done, ok := p.l2Flight[line]; ok {
+		// Merged into an in-flight fetch (secondary miss).
+		return ms.xbar.ToSM(sm, max(done, svc))
+	}
+	if hit {
+		return ms.xbar.ToSM(sm, svc+ms.l2Latency)
+	}
+
+	// Primary miss: allocate the tag and fetch from DRAM. A full MSHR file
+	// delays the fetch until the earliest outstanding fill completes.
+	p.l2Out -= p.l2Done.drain(svc)
+	start := svc + ms.l2TagLat
+	if p.l2Out >= ms.l2MSHRs {
+		m := p.l2Done.pop()
+		p.l2Out--
+		start = max(start, m)
+	}
+	done := p.channel.Read(line, int(ms.lineBytes), start)
+	p.l2.Install(line)
+	p.l2Flight[line] = done
+	p.l2Done.push(done)
+	p.l2Out++
+	if len(p.l2Flight) > 8*ms.l2MSHRs {
+		sweep(p.l2Flight, svc)
+	}
+	return ms.xbar.ToSM(sm, done)
+}
+
+// l2Store forwards a write-through store to its home slice. Stores are
+// fire-and-forget: they consume crossbar and slice bandwidth but nothing
+// waits on them, and the slice absorbs them (no DRAM write traffic).
+func (ms *memSystem) l2Store(line uint64, now uint64) {
+	pidx, p := ms.route(line)
+	arrive := ms.xbar.ToPartition(pidx, now)
+	svc := max(arrive, p.nextFree)
+	p.nextFree = svc + 1
+	p.l2.Store(line)
+}
+
+// sweep drops completed entries from an in-flight map. The maps are
+// otherwise cleaned lazily on re-access, so lines fetched exactly once
+// would accumulate forever without this.
+func sweep(m map[uint64]uint64, now uint64) {
+	for line, done := range m {
+		if done <= now {
+			delete(m, line)
+		}
+	}
+}

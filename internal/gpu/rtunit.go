@@ -1,0 +1,185 @@
+package gpu
+
+import (
+	"zatel/internal/bvh"
+	"zatel/internal/rt"
+)
+
+// rayState is one ray resident in an RT unit, replaying its recorded
+// traversal steps: fetch the node (and, at leaves, the triangle block),
+// run the intersection pipeline, advance.
+type rayState struct {
+	warpSlot int32
+	steps    []uint32
+	idx      int32
+}
+
+// rtUnit is the per-SM ray tracing accelerator: a small number of resident
+// warp slots (Table II: 4), an MSHR file bounding outstanding memory
+// fetches (Table II: 64), and an intersection pipeline advancing a bounded
+// number of rays per cycle.
+type rtUnit struct {
+	maxWarps     int
+	mshrSize     int
+	raysPerCycle int
+	boxCycles    uint64
+	triCycles    uint64
+
+	residentWarps int
+	activeRays    int
+	outstanding   int // in-flight memory fetches
+
+	rays     []rayState
+	freeRays []int32
+	ready    []int32 // rays ready to issue their next step
+	stalled  []int32 // rays blocked on a full MSHR file
+	queue    []int32 // warp slots awaiting a resident-warp slot
+
+	raysTraced uint64
+}
+
+// allocRay takes a ray from the pool.
+func (u *rtUnit) allocRay(warpSlot int32, steps []uint32) int32 {
+	var rid int32
+	if n := len(u.freeRays); n > 0 {
+		rid = u.freeRays[n-1]
+		u.freeRays = u.freeRays[:n-1]
+		u.rays[rid] = rayState{warpSlot: warpSlot, steps: steps}
+	} else {
+		rid = int32(len(u.rays))
+		u.rays = append(u.rays, rayState{warpSlot: warpSlot, steps: steps})
+	}
+	return rid
+}
+
+// tryAdmit gives warp slot a resident RT-unit slot if one is free,
+// creating its rays; otherwise the warp queues. Returns true if admitted.
+func (sim *Sim) tryAdmit(s *sm, slot int32, now uint64) bool {
+	u := &s.rt
+	w := &s.warps[slot]
+	if u.residentWarps >= u.maxWarps {
+		w.phase = wRTQueued
+		u.queue = append(u.queue, slot)
+		return false
+	}
+	u.residentWarps++
+	sim.residentWarpsTotal++
+	w.phase = wRTWait
+	created := int32(0)
+	for _, ray := range w.rayRefs {
+		if len(ray.Steps) == 0 {
+			// Root-miss ray: the root AABB test rejects it immediately.
+			continue
+		}
+		rid := u.allocRay(slot, ray.Steps)
+		u.ready = append(u.ready, rid)
+		created++
+	}
+	w.rayRefs = w.rayRefs[:0]
+	w.pendingRays = created
+	u.activeRays += int(created)
+	sim.activeRaysTotal += int(created)
+	if created == 0 {
+		// Every lane's ray missed the root: the warp resumes after one
+		// box-test latency and the RT slot frees right away.
+		sim.releaseRTSlot(s, now)
+		w.phase = wBlocked
+		sim.events.push(event{cycle: now + u.boxCycles, kind: evWarpWake, sm: int32(s.id), id: slot, uid: w.uid})
+	}
+	return true
+}
+
+// releaseRTSlot frees one resident-warp slot and admits the next queued
+// warp, if any.
+func (sim *Sim) releaseRTSlot(s *sm, now uint64) {
+	u := &s.rt
+	u.residentWarps--
+	sim.residentWarpsTotal--
+	if len(u.queue) > 0 {
+		next := u.queue[0]
+		u.queue = u.queue[1:]
+		sim.tryAdmit(s, next, now)
+	}
+}
+
+// rtTick advances up to raysPerCycle ready rays by one traversal step.
+func (sim *Sim) rtTick(s *sm, now uint64) {
+	u := &s.rt
+	budget := u.raysPerCycle
+	for budget > 0 && len(u.ready) > 0 {
+		rid := u.ready[0]
+		u.ready = u.ready[1:]
+		r := &u.rays[rid]
+
+		node, triTests := rt.UnpackStep(r.steps[r.idx])
+		fetches := 1
+		if triTests > 0 {
+			fetches = 2
+		}
+		if u.outstanding+fetches > u.mshrSize {
+			u.stalled = append(u.stalled, rid)
+			continue
+		}
+
+		done := sim.loadLine(s, bvh.NodeAddr(node), now)
+		if triTests > 0 {
+			if d := sim.loadLine(s, bvh.TriAddr(node), now); d > done {
+				done = d
+			}
+		}
+		u.outstanding += fetches
+		for f := 0; f < fetches; f++ {
+			sim.events.push(event{cycle: done, kind: evFetchDone, sm: int32(s.id)})
+		}
+
+		testLat := u.boxCycles
+		if triTests > 0 {
+			testLat = u.triCycles * uint64(triTests)
+		}
+		r.idx++
+		sim.events.push(event{cycle: done + testLat, kind: evRayWork, sm: int32(s.id), id: rid})
+		budget--
+	}
+}
+
+// rayWork handles an evRayWork event: the ray's current step finished; it
+// either becomes ready for its next step or retires.
+func (sim *Sim) rayWork(s *sm, rid int32, now uint64) {
+	u := &s.rt
+	r := &u.rays[rid]
+	if int(r.idx) < len(r.steps) {
+		u.ready = append(u.ready, rid)
+		return
+	}
+	// Ray complete.
+	u.raysTraced++
+	u.activeRays--
+	sim.activeRaysTotal--
+	warpSlot := r.warpSlot
+	u.freeRays = append(u.freeRays, rid)
+
+	w := &s.warps[warpSlot]
+	w.pendingRays--
+	if w.pendingRays > 0 {
+		return
+	}
+	// Last ray of the warp's trace call: free the slot and resume the warp.
+	sim.releaseRTSlot(s, now)
+	if warpFinished(w) {
+		sim.retireWarp(s, warpSlot, now)
+	} else {
+		s.markReady(warpSlot)
+	}
+}
+
+// fetchDone handles an evFetchDone event: one MSHR slot freed; unstall the
+// oldest stalled ray.
+func (sim *Sim) fetchDone(s *sm) {
+	u := &s.rt
+	u.outstanding--
+	if len(u.stalled) > 0 {
+		rid := u.stalled[0]
+		u.stalled = u.stalled[1:]
+		u.ready = append(u.ready, rid)
+	}
+}

@@ -1,0 +1,190 @@
+package gpu
+
+import (
+	"zatel/internal/cache"
+	"zatel/internal/config"
+	"zatel/internal/rt"
+)
+
+// warpPhase tracks where a resident warp is in its lifecycle.
+type warpPhase uint8
+
+const (
+	wReady warpPhase = iota
+	wBlocked
+	wRTQueued // waiting for a free RT-unit warp slot
+	wRTWait   // rays in flight inside the RT unit
+	wDone
+	wEmpty // slot unoccupied
+)
+
+// thread is one lane's replay cursor over its recorded trace.
+type thread struct {
+	tr *rt.ThreadTrace
+	op int32
+}
+
+func (t *thread) finished() bool { return int(t.op) >= len(t.tr.Ops) }
+
+// warp is a resident warp context: up to WarpSize threads replayed in
+// SIMT lockstep with kind-grouped divergence serialization.
+type warp struct {
+	uid         int64 // generation tag, unique across the run
+	age         int64 // launch order, GTO tie-break
+	phase       warpPhase
+	threads     []thread
+	pendingRays int32 // outstanding RT-unit rays for the blocking trace op
+	// rayRefs stages the rays of an issued trace op until the RT unit
+	// admits the warp.
+	rayRefs []*rt.RayTrace
+}
+
+// sm is one streaming multiprocessor: warp slots, a GTO/RR scheduler, an
+// L1D cache with analytic MSHRs, and one RT accelerator unit.
+type sm struct {
+	id    int
+	warps []warp // fixed-size slot array (MaxWarpsPerSM)
+
+	// ready holds the slots of issuable warps ordered by age (oldest
+	// first); lastIssued implements GTO's greedy preference.
+	ready      *ageHeap
+	lastIssued int32
+
+	l1       *cache.Cache
+	l1Flight map[uint64]uint64 // line -> data-arrival cycle
+	l1MSHRs  int
+	// l1Done/l1Out track MSHR occupancy: l1Out fills are outstanding and
+	// l1Done holds their completion cycles.
+	l1Done doneQ
+	l1Out  int
+	// lsuNextFree serializes L1 accesses (one line per cycle).
+	lsuNextFree uint64
+
+	rt rtUnit
+
+	// instructions counts thread-level instructions issued by this SM.
+	instructions uint64
+
+	// Scratch buffers reused across issues to avoid allocation.
+	scratchLanes []int32
+	scratchLines []uint64
+}
+
+// ageHeap is a min-heap of warp slots keyed by warp age.
+type ageHeap struct {
+	slots []int32
+	age   func(slot int32) int64
+}
+
+func (h *ageHeap) push(slot int32) {
+	h.slots = append(h.slots, slot)
+	i := len(h.slots) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if h.age(h.slots[p]) <= h.age(h.slots[i]) {
+			break
+		}
+		h.slots[p], h.slots[i] = h.slots[i], h.slots[p]
+		i = p
+	}
+}
+
+func (h *ageHeap) pop() int32 {
+	top := h.slots[0]
+	last := len(h.slots) - 1
+	h.slots[0] = h.slots[last]
+	h.slots = h.slots[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		least := i
+		if l < last && h.age(h.slots[l]) < h.age(h.slots[least]) {
+			least = l
+		}
+		if r < last && h.age(h.slots[r]) < h.age(h.slots[least]) {
+			least = r
+		}
+		if least == i {
+			break
+		}
+		h.slots[i], h.slots[least] = h.slots[least], h.slots[i]
+		i = least
+	}
+	return top
+}
+
+func (h *ageHeap) remove(slot int32) bool {
+	for i, s := range h.slots {
+		if s == slot {
+			last := len(h.slots) - 1
+			h.slots[i] = h.slots[last]
+			h.slots = h.slots[:last]
+			// Restore heap order by rebuilding the affected path; the
+			// heap is small (≤ MaxWarpsPerSM), a full sift is cheap.
+			h.heapify()
+			return true
+		}
+	}
+	return false
+}
+
+func (h *ageHeap) heapify() {
+	for i := len(h.slots)/2 - 1; i >= 0; i-- {
+		h.siftDown(i)
+	}
+}
+
+func (h *ageHeap) siftDown(i int) {
+	n := len(h.slots)
+	for {
+		l, r := 2*i+1, 2*i+2
+		least := i
+		if l < n && h.age(h.slots[l]) < h.age(h.slots[least]) {
+			least = l
+		}
+		if r < n && h.age(h.slots[r]) < h.age(h.slots[least]) {
+			least = r
+		}
+		if least == i {
+			return
+		}
+		h.slots[i], h.slots[least] = h.slots[least], h.slots[i]
+		i = least
+	}
+}
+
+func (h *ageHeap) len() int { return len(h.slots) }
+
+// pickWarp selects the next warp to issue according to the scheduling
+// policy. GTO prefers the last-issued warp when it is still ready and
+// otherwise takes the oldest ready warp; RoundRobin rotates through slots
+// starting after the last issued one. It returns -1 when nothing is ready.
+func (s *sm) pickWarp(policy config.SchedulerKind) int32 {
+	if s.ready.len() == 0 {
+		return -1
+	}
+	switch policy {
+	case config.RoundRobin:
+		n := len(s.warps)
+		for i := 1; i <= n; i++ {
+			slot := int32((int(s.lastIssued) + i + n) % n)
+			if s.warps[slot].phase == wReady && s.ready.remove(slot) {
+				return slot
+			}
+		}
+		return -1
+	default: // GTO
+		if s.lastIssued >= 0 && s.warps[s.lastIssued].phase == wReady {
+			if s.ready.remove(s.lastIssued) {
+				return s.lastIssued
+			}
+		}
+		return s.ready.pop()
+	}
+}
+
+// markReady transitions a warp slot into the ready set.
+func (s *sm) markReady(slot int32) {
+	s.warps[slot].phase = wReady
+	s.ready.push(slot)
+}

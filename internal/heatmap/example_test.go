@@ -1,0 +1,22 @@
+package heatmap_test
+
+import (
+	"fmt"
+
+	"zatel/internal/heatmap"
+)
+
+// A per-pixel cost profile normalises into temperatures and quantizes into
+// a small palette; the Eq. 1 "shifted hue" coldness is 1 − temperature.
+func ExampleHeatmap_Quantize() {
+	cost := []float64{1, 1, 9, 9, 1, 9, 1, 9} // two obvious clusters
+	hm, _ := heatmap.FromCost(cost, 4, 2)
+	q, _ := hm.Quantize(2, 1)
+	fmt.Printf("levels: %d\n", len(q.Levels))
+	fmt.Printf("cold pixel coldness: %.2f\n", q.Cold(0))
+	fmt.Printf("hot pixel coldness:  %.2f\n", q.Cold(2))
+	// Output:
+	// levels: 2
+	// cold pixel coldness: 0.89
+	// hot pixel coldness:  0.00
+}

@@ -1,0 +1,147 @@
+// Package kmeans implements one-dimensional K-means clustering with
+// k-means++ seeding. Zatel uses it for heatmap colour quantization: the
+// NVIDIA heat gradient is a monotone function of the scalar temperature, so
+// clustering pixel temperatures is exactly clustering their colours.
+package kmeans
+
+import (
+	"fmt"
+	"sort"
+
+	"zatel/internal/vecmath"
+)
+
+// Result is the output of a clustering run.
+type Result struct {
+	// Centers holds the cluster centroids in ascending order.
+	Centers []float64
+	// Assign maps each input value to its cluster index in Centers.
+	Assign []int
+	// Iterations is how many Lloyd iterations ran before convergence.
+	Iterations int
+}
+
+// Cluster groups values into k clusters. Seeding is deterministic for a
+// given seed. k is clamped to the number of distinct values. maxIter bounds
+// the Lloyd iterations (20 is plenty in one dimension).
+func Cluster(values []float64, k int, seed uint64, maxIter int) (Result, error) {
+	if len(values) == 0 {
+		return Result{}, fmt.Errorf("kmeans: no values")
+	}
+	if k <= 0 {
+		return Result{}, fmt.Errorf("kmeans: k=%d must be positive", k)
+	}
+	if maxIter <= 0 {
+		return Result{}, fmt.Errorf("kmeans: maxIter=%d must be positive", maxIter)
+	}
+	distinct := countDistinct(values)
+	if k > distinct {
+		k = distinct
+	}
+
+	centers := seedPlusPlus(values, k, vecmath.NewRNG(seed))
+	assign := make([]int, len(values))
+	iters := 0
+	for ; iters < maxIter; iters++ {
+		changed := false
+		for i, v := range values {
+			c := nearest(centers, v)
+			if assign[i] != c {
+				assign[i] = c
+				changed = true
+			}
+		}
+		// Recompute centroids.
+		sums := make([]float64, len(centers))
+		counts := make([]int, len(centers))
+		for i, v := range values {
+			sums[assign[i]] += v
+			counts[assign[i]]++
+		}
+		for c := range centers {
+			if counts[c] > 0 {
+				centers[c] = sums[c] / float64(counts[c])
+			}
+		}
+		if !changed && iters > 0 {
+			break
+		}
+	}
+
+	// Present clusters in ascending centroid order so callers can treat
+	// the index as an ordinal temperature level.
+	order := make([]int, len(centers))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return centers[order[a]] < centers[order[b]] })
+	rank := make([]int, len(centers))
+	sorted := make([]float64, len(centers))
+	for newIdx, oldIdx := range order {
+		rank[oldIdx] = newIdx
+		sorted[newIdx] = centers[oldIdx]
+	}
+	for i := range assign {
+		assign[i] = rank[assign[i]]
+	}
+	return Result{Centers: sorted, Assign: assign, Iterations: iters}, nil
+}
+
+// seedPlusPlus picks k initial centers with the k-means++ rule: the first
+// uniformly, the rest proportional to squared distance from the nearest
+// chosen center.
+func seedPlusPlus(values []float64, k int, rng *vecmath.RNG) []float64 {
+	centers := make([]float64, 0, k)
+	centers = append(centers, values[rng.Intn(len(values))])
+	d2 := make([]float64, len(values))
+	for len(centers) < k {
+		var total float64
+		for i, v := range values {
+			d := v - centers[nearest(centers, v)]
+			d2[i] = d * d
+			total += d2[i]
+		}
+		if total == 0 {
+			// All remaining values coincide with centers; duplicate one.
+			centers = append(centers, centers[0])
+			continue
+		}
+		target := rng.Float64() * total
+		acc := 0.0
+		pick := len(values) - 1
+		for i, w := range d2 {
+			acc += w
+			if acc >= target {
+				pick = i
+				break
+			}
+		}
+		centers = append(centers, values[pick])
+	}
+	return centers
+}
+
+func nearest(centers []float64, v float64) int {
+	best, bestD := 0, -1.0
+	for c, center := range centers {
+		d := v - center
+		if d < 0 {
+			d = -d
+		}
+		if bestD < 0 || d < bestD {
+			best, bestD = c, d
+		}
+	}
+	return best
+}
+
+func countDistinct(values []float64) int {
+	seen := make(map[float64]struct{}, 16)
+	for _, v := range values {
+		seen[v] = struct{}{}
+		if len(seen) > 256 {
+			return len(values) // enough distinct values for any sane k
+		}
+	}
+	return len(seen)
+}

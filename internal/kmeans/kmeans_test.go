@@ -1,0 +1,148 @@
+package kmeans
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"zatel/internal/vecmath"
+)
+
+func TestClusterValidation(t *testing.T) {
+	if _, err := Cluster(nil, 3, 1, 10); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := Cluster([]float64{1}, 0, 1, 10); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := Cluster([]float64{1}, 1, 1, 0); err == nil {
+		t.Error("maxIter=0 accepted")
+	}
+}
+
+func TestWellSeparatedClusters(t *testing.T) {
+	// Three tight groups around 0, 5 and 10 must be recovered exactly.
+	var values []float64
+	rng := vecmath.NewRNG(4)
+	for _, center := range []float64{0, 5, 10} {
+		for i := 0; i < 50; i++ {
+			values = append(values, center+rng.Float64()*0.2-0.1)
+		}
+	}
+	res, err := Cluster(values, 3, 7, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Centers) != 3 {
+		t.Fatalf("got %d centers", len(res.Centers))
+	}
+	for i, want := range []float64{0, 5, 10} {
+		if math.Abs(res.Centers[i]-want) > 0.2 {
+			t.Errorf("center %d = %v, want ≈%v", i, res.Centers[i], want)
+		}
+	}
+	// Values in the first group must map to cluster 0, etc.
+	for i, v := range values {
+		want := 0
+		if v > 2.5 {
+			want = 1
+		}
+		if v > 7.5 {
+			want = 2
+		}
+		if res.Assign[i] != want {
+			t.Fatalf("value %v assigned to %d, want %d", v, res.Assign[i], want)
+		}
+	}
+}
+
+func TestCentersSorted(t *testing.T) {
+	values := []float64{9, 1, 5, 9.1, 1.1, 5.1, 0.9, 4.9, 8.9}
+	res, err := Cluster(values, 3, 99, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(res.Centers); i++ {
+		if res.Centers[i] < res.Centers[i-1] {
+			t.Fatalf("centers not ascending: %v", res.Centers)
+		}
+	}
+}
+
+func TestKClampedToDistinct(t *testing.T) {
+	values := []float64{2, 2, 2, 7, 7}
+	res, err := Cluster(values, 5, 3, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Centers) != 2 {
+		t.Errorf("k not clamped: %d centers", len(res.Centers))
+	}
+}
+
+func TestSingleValue(t *testing.T) {
+	res, err := Cluster([]float64{3, 3, 3}, 4, 1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Centers) != 1 || res.Centers[0] != 3 {
+		t.Errorf("constant input gave %v", res.Centers)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	values := make([]float64, 200)
+	rng := vecmath.NewRNG(11)
+	for i := range values {
+		values[i] = rng.Float64()
+	}
+	a, err := Cluster(values, 6, 42, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Cluster(values, 6, 42, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Assign {
+		if a.Assign[i] != b.Assign[i] {
+			t.Fatalf("assignment %d differs across runs", i)
+		}
+	}
+}
+
+// Property: every value is assigned to its nearest center (Lloyd fixpoint
+// condition after convergence).
+func TestNearestAssignmentProperty(t *testing.T) {
+	f := func(raw []float64, kRaw uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		values := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) && math.Abs(v) < 1e9 {
+				values = append(values, v)
+			}
+		}
+		if len(values) == 0 {
+			return true
+		}
+		k := int(kRaw%8) + 1
+		res, err := Cluster(values, k, 5, 50)
+		if err != nil {
+			return false
+		}
+		for i, v := range values {
+			got := math.Abs(v - res.Centers[res.Assign[i]])
+			for _, c := range res.Centers {
+				if math.Abs(v-c) < got-1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,70 @@
+// Package noc models the SM↔memory-partition interconnect as a crossbar
+// with per-port serialization: each partition's request port and each SM's
+// response port accepts one packet per cycle, plus a fixed traversal
+// latency. Like the DRAM model it is analytic — Deliver returns the arrival
+// cycle — so the simulator never ticks the network.
+package noc
+
+import "fmt"
+
+// Crossbar connects numSMs cores to numPartitions memory partitions. The
+// topology adapts automatically to component counts (Section III-C: "the
+// mesh topology of the interconnect changes automatically"), so downscaled
+// configurations need no explicit NoC changes.
+type Crossbar struct {
+	latency      uint64
+	toPartition  []uint64 // last service cycle of each partition port
+	toSM         []uint64 // last service cycle of each SM port
+	packets      uint64
+	queuedCycles uint64
+}
+
+// New returns a crossbar with the given one-way traversal latency in cycles.
+func New(numSMs, numPartitions, latency int) (*Crossbar, error) {
+	if numSMs <= 0 || numPartitions <= 0 {
+		return nil, fmt.Errorf("noc: need positive port counts, got %d SMs / %d partitions", numSMs, numPartitions)
+	}
+	if latency < 0 {
+		return nil, fmt.Errorf("noc: negative latency %d", latency)
+	}
+	return &Crossbar{
+		latency:     uint64(latency),
+		toPartition: make([]uint64, numPartitions),
+		toSM:        make([]uint64, numSMs),
+	}, nil
+}
+
+// ToPartition routes a request packet to partition p at cycle now and
+// returns its arrival cycle. Per-partition serialization (one packet per
+// cycle) models the crossbar output-port bottleneck.
+func (x *Crossbar) ToPartition(p int, now uint64) uint64 {
+	return x.deliver(x.toPartition, p, now)
+}
+
+// ToSM routes a response packet back to SM sm at cycle now and returns its
+// arrival cycle.
+func (x *Crossbar) ToSM(sm int, now uint64) uint64 {
+	return x.deliver(x.toSM, sm, now)
+}
+
+func (x *Crossbar) deliver(ports []uint64, i int, now uint64) uint64 {
+	// ports[i] holds the port's next free cycle.
+	start := max(now, ports[i])
+	ports[i] = start + 1
+	x.packets++
+	x.queuedCycles += start - now
+	return start + x.latency
+}
+
+// Stats reports aggregate crossbar activity.
+type Stats struct {
+	Packets uint64
+	// QueuedCycles is the total serialization delay experienced by all
+	// packets (0 when the network is uncontended).
+	QueuedCycles uint64
+}
+
+// Stats returns the accumulated counters.
+func (x *Crossbar) Stats() Stats {
+	return Stats{Packets: x.packets, QueuedCycles: x.queuedCycles}
+}

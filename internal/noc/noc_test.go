@@ -1,0 +1,89 @@
+package noc
+
+import "testing"
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, 4, 8); err == nil {
+		t.Error("0 SMs accepted")
+	}
+	if _, err := New(4, 0, 8); err == nil {
+		t.Error("0 partitions accepted")
+	}
+	if _, err := New(4, 4, -1); err == nil {
+		t.Error("negative latency accepted")
+	}
+}
+
+func TestUncontendedLatency(t *testing.T) {
+	x, err := New(2, 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := x.ToPartition(0, 100); got != 108 {
+		t.Errorf("delivery = %d, want 108", got)
+	}
+	if got := x.ToSM(1, 200); got != 208 {
+		t.Errorf("response delivery = %d, want 208", got)
+	}
+}
+
+func TestPortSerialization(t *testing.T) {
+	x, err := New(1, 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Three packets to the same partition in the same cycle serialize.
+	d1 := x.ToPartition(0, 10)
+	d2 := x.ToPartition(0, 10)
+	d3 := x.ToPartition(0, 10)
+	if d1 != 18 || d2 != 19 || d3 != 20 {
+		t.Errorf("deliveries = %d,%d,%d, want 18,19,20", d1, d2, d3)
+	}
+	// A different partition's port is independent.
+	if got := x.ToPartition(1, 10); got != 18 {
+		t.Errorf("other port delivery = %d, want 18", got)
+	}
+}
+
+func TestRequestResponsePortsIndependent(t *testing.T) {
+	x, err := New(1, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x.ToPartition(0, 0)
+	if got := x.ToSM(0, 0); got != 4 {
+		t.Errorf("response port shared with request port: %d", got)
+	}
+}
+
+func TestStatsCountQueueing(t *testing.T) {
+	x, err := New(1, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x.ToPartition(0, 5)
+	x.ToPartition(0, 5) // queued 1 cycle
+	x.ToPartition(0, 5) // queued 2 cycles
+	st := x.Stats()
+	if st.Packets != 3 {
+		t.Errorf("packets = %d", st.Packets)
+	}
+	if st.QueuedCycles != 3 {
+		t.Errorf("queued cycles = %d, want 3", st.QueuedCycles)
+	}
+}
+
+func TestMonotonicWithAdvancingClock(t *testing.T) {
+	x, err := New(1, 1, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := uint64(0)
+	for now := uint64(0); now < 100; now += 2 {
+		d := x.ToPartition(0, now)
+		if d < prev {
+			t.Fatalf("delivery went backwards")
+		}
+		prev = d
+	}
+}

@@ -1,0 +1,239 @@
+package rt
+
+import (
+	"testing"
+	"testing/quick"
+
+	"zatel/internal/scene"
+)
+
+func TestPackUnpackStep(t *testing.T) {
+	cases := []struct{ node, tris int32 }{
+		{0, 0}, {1, 4}, {12345, 255}, {maxNodeIndex, 7},
+	}
+	for _, c := range cases {
+		n, tt := UnpackStep(PackStep(c.node, c.tris))
+		if n != c.node || tt != c.tris {
+			t.Errorf("roundtrip (%d,%d) -> (%d,%d)", c.node, c.tris, n, tt)
+		}
+	}
+}
+
+func TestPackStepSaturatesTriTests(t *testing.T) {
+	_, tt := UnpackStep(PackStep(5, 1000))
+	if tt != 255 {
+		t.Errorf("saturation gave %d", tt)
+	}
+}
+
+func TestPackStepRoundtripProperty(t *testing.T) {
+	f := func(node uint32, tris uint8) bool {
+		n := int32(node % maxNodeIndex)
+		gotN, gotT := UnpackStep(PackStep(n, int32(tris)))
+		return gotN == n && gotT == int32(tris)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFilteredTrace(t *testing.T) {
+	ft := FilteredTrace()
+	if ft.Instructions() != 2 {
+		t.Errorf("filtered trace issues %d instructions, want 2", ft.Instructions())
+	}
+	if len(ft.Rays) != 0 {
+		t.Errorf("filtered trace traced %d rays", len(ft.Rays))
+	}
+	for _, op := range ft.Ops {
+		if op.Kind == OpLoad || op.Kind == OpStore {
+			t.Errorf("filtered trace touches memory")
+		}
+	}
+}
+
+func TestBuildWorkloadRejectsBadDims(t *testing.T) {
+	s, err := scene.ByName("SPRNG")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []struct{ w, h, spp int }{{0, 8, 1}, {8, 0, 1}, {8, 8, 0}, {-1, 8, 1}} {
+		if _, err := BuildWorkload(s, c.w, c.h, c.spp); err == nil {
+			t.Errorf("dims %+v accepted", c)
+		}
+	}
+}
+
+func TestWorkloadShape(t *testing.T) {
+	w, err := CachedWorkload("SPRNG", 32, 32, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Pixels() != 1024 || len(w.Traces) != 1024 || len(w.Cost) != 1024 {
+		t.Fatalf("workload shape wrong: pixels=%d traces=%d cost=%d",
+			w.Pixels(), len(w.Traces), len(w.Cost))
+	}
+	for pix, tr := range w.Traces {
+		if len(tr.Ops) == 0 {
+			t.Fatalf("pixel %d has empty trace", pix)
+		}
+		// Every trace begins with ray-generation compute and traces at
+		// least one primary ray per sample.
+		if tr.Ops[0].Kind != OpCompute {
+			t.Errorf("pixel %d trace starts with %v", pix, tr.Ops[0].Kind)
+		}
+		prim := 0
+		for _, r := range tr.Rays {
+			if r.Kind == RayPrimary {
+				prim++
+			}
+		}
+		if prim != w.SPP {
+			t.Errorf("pixel %d traced %d primary rays, want %d", pix, prim, w.SPP)
+		}
+		// OpTrace args must index Rays.
+		for _, op := range tr.Ops {
+			if op.Kind == OpTrace && int(op.Arg) >= len(tr.Rays) {
+				t.Fatalf("pixel %d OpTrace arg %d out of range", pix, op.Arg)
+			}
+		}
+		if w.Cost[pix] <= 0 {
+			t.Errorf("pixel %d non-positive cost %v", pix, w.Cost[pix])
+		}
+	}
+}
+
+func TestWorkloadDeterministicAcrossBuilds(t *testing.T) {
+	s, err := scene.ByName("CHSNT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := BuildWorkload(s, 24, 24, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BuildWorkload(s, 24, 24, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pix := range a.Traces {
+		ta, tb := a.Traces[pix], b.Traces[pix]
+		if len(ta.Ops) != len(tb.Ops) || len(ta.Rays) != len(tb.Rays) {
+			t.Fatalf("pixel %d shape differs across builds", pix)
+		}
+		for i := range ta.Ops {
+			if ta.Ops[i] != tb.Ops[i] {
+				t.Fatalf("pixel %d op %d differs", pix, i)
+			}
+		}
+		if a.Cost[pix] != b.Cost[pix] {
+			t.Fatalf("pixel %d cost differs", pix)
+		}
+	}
+}
+
+func TestShadowRaysFollowHits(t *testing.T) {
+	// Every hit spawns exactly one shadow ray, so shadow count can never
+	// exceed primary+bounce count.
+	w, err := CachedWorkload("SPNZA", 32, 32, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pix, tr := range w.Traces {
+		var prim, shadow, bounce int
+		for _, r := range tr.Rays {
+			switch r.Kind {
+			case RayPrimary:
+				prim++
+			case RayShadow:
+				shadow++
+			case RayBounce:
+				bounce++
+			}
+		}
+		if shadow > prim+bounce {
+			t.Fatalf("pixel %d: %d shadow rays for %d hitting rays", pix, shadow, prim+bounce)
+		}
+	}
+}
+
+func TestSceneHeatContrast(t *testing.T) {
+	// The library's characterisation: BUNNY (warm, object fills frame)
+	// must have a much higher mean pixel cost than SHIP (cold, mostly sky),
+	// and SPRNG must leave most pixels near the minimum cost.
+	costMean := func(name string) float64 {
+		w, err := CachedWorkload(name, 48, 48, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sum float64
+		for _, c := range w.Cost {
+			sum += c
+		}
+		return sum / float64(len(w.Cost))
+	}
+	bunny, ship := costMean("BUNNY"), costMean("SHIP")
+	if bunny < 2*ship {
+		t.Errorf("BUNNY mean cost %.1f not ≫ SHIP %.1f", bunny, ship)
+	}
+
+	w, err := CachedWorkload("SPRNG", 48, 48, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxCost := 0.0
+	for _, c := range w.Cost {
+		if c > maxCost {
+			maxCost = c
+		}
+	}
+	cold := 0
+	for _, c := range w.Cost {
+		if c < maxCost*0.25 {
+			cold++
+		}
+	}
+	if frac := float64(cold) / float64(len(w.Cost)); frac < 0.5 {
+		t.Errorf("SPRNG only %.0f%% cold pixels; expected an underutilised scene", frac*100)
+	}
+}
+
+func TestInstructionsCounting(t *testing.T) {
+	tr := ThreadTrace{Ops: []Op{
+		{Kind: OpCompute, Arg: 10},
+		{Kind: OpLoad, Arg: 0x1000},
+		{Kind: OpTrace, Arg: 0},
+		{Kind: OpStore, Arg: 0x2000},
+	}}
+	if got := tr.Instructions(); got != 13 {
+		t.Errorf("Instructions = %d, want 13", got)
+	}
+}
+
+func TestTraversalWork(t *testing.T) {
+	tr := ThreadTrace{Rays: []RayTrace{
+		{Steps: []uint32{PackStep(1, 0), PackStep(2, 3)}},
+		{Steps: []uint32{PackStep(5, 2)}},
+	}}
+	nodes, tris := tr.TraversalWork()
+	if nodes != 3 || tris != 5 {
+		t.Errorf("TraversalWork = (%d,%d), want (3,5)", nodes, tris)
+	}
+}
+
+func TestCachedWorkloadMemoises(t *testing.T) {
+	a, err := CachedWorkload("SHIP", 16, 16, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := CachedWorkload("SHIP", 16, 16, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("cache rebuilt an identical workload")
+	}
+	if _, err := CachedWorkload("NOPE", 16, 16, 1); err == nil {
+		t.Error("unknown scene accepted")
+	}
+}

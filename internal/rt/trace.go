@@ -1,0 +1,155 @@
+// Package rt is the functional ray tracer. It plays the role Vulkan-Sim's
+// functional mode (or a hardware GPU) plays in the paper: for every pixel it
+// path-traces the scene once, and while doing so records the exact sequence
+// of instructions, memory accesses and BVH traversal steps the pixel's
+// thread would execute. The cycle-level GPU model (internal/gpu) then
+// replays these traces under a particular hardware configuration.
+package rt
+
+import "fmt"
+
+// Memory regions for non-BVH data, disjoint from bvh.NodeBase/bvh.TriBase.
+const (
+	// MatBase is the byte address of material record 0.
+	MatBase uint64 = 0x3000_0000
+	// MatBytes is the size of one material record.
+	MatBytes uint64 = 64
+	// FBBase is the byte address of the framebuffer.
+	FBBase uint64 = 0x4000_0000
+	// FBBytes is the per-pixel framebuffer footprint.
+	FBBytes uint64 = 16
+)
+
+// OpKind discriminates thread-trace operations.
+type OpKind uint8
+
+const (
+	// OpCompute executes Arg ALU instructions.
+	OpCompute OpKind = iota
+	// OpLoad issues a global memory read of the byte address Arg.
+	OpLoad
+	// OpStore issues a global memory write of the byte address Arg.
+	OpStore
+	// OpTrace hands ray Rays[Arg] to the RT unit and waits for it.
+	OpTrace
+)
+
+// String implements fmt.Stringer.
+func (k OpKind) String() string {
+	switch k {
+	case OpCompute:
+		return "compute"
+	case OpLoad:
+		return "load"
+	case OpStore:
+		return "store"
+	case OpTrace:
+		return "trace"
+	default:
+		return fmt.Sprintf("OpKind(%d)", uint8(k))
+	}
+}
+
+// Op is one thread-trace operation.
+type Op struct {
+	Kind OpKind
+	// Arg is the instruction count (OpCompute), byte address
+	// (OpLoad/OpStore) or ray index (OpTrace).
+	Arg uint32
+}
+
+// Packed traversal step layout: node index in the high 24 bits, triangle
+// test count in the low 8. Tree sizes in this repository stay far below
+// 2^24 nodes; BuildWorkload enforces the limit.
+const (
+	stepNodeShift = 8
+	stepTriMask   = 0xff
+	maxNodeIndex  = 1<<24 - 1
+)
+
+// PackStep encodes a traversal step. Triangle-test counts saturate at 255.
+func PackStep(node int32, triTests int32) uint32 {
+	if triTests > stepTriMask {
+		triTests = stepTriMask
+	}
+	return uint32(node)<<stepNodeShift | uint32(triTests)
+}
+
+// UnpackStep decodes a traversal step.
+func UnpackStep(s uint32) (node int32, triTests int32) {
+	return int32(s >> stepNodeShift), int32(s & stepTriMask)
+}
+
+// RayKind labels what role a traced ray plays in the path; the timing model
+// reports RT statistics per kind.
+type RayKind uint8
+
+const (
+	// RayPrimary is a camera ray.
+	RayPrimary RayKind = iota
+	// RayShadow is a light-visibility ray.
+	RayShadow
+	// RayBounce is a secondary (reflection or diffuse-bounce) ray.
+	RayBounce
+)
+
+// RayTrace is the recorded traversal of one ray.
+type RayTrace struct {
+	Kind RayKind
+	// Steps is the packed per-node traversal sequence (see PackStep).
+	Steps []uint32
+}
+
+// ThreadTrace is the full recorded execution of one pixel's thread: a flat
+// operation list referencing the rays it traced.
+type ThreadTrace struct {
+	Ops  []Op
+	Rays []RayTrace
+}
+
+// Instructions returns the number of SM instructions the thread issues:
+// every op is one instruction except OpCompute which accounts for Arg.
+// Work done inside the RT unit is accelerator work, not SM instructions,
+// matching how Vulkan-Sim attributes instruction counts.
+func (t *ThreadTrace) Instructions() uint64 {
+	var n uint64
+	for _, op := range t.Ops {
+		if op.Kind == OpCompute {
+			n += uint64(op.Arg)
+		} else {
+			n++
+		}
+	}
+	return n
+}
+
+// TraversalWork returns the total node visits and triangle tests across the
+// thread's rays — the scalar the heatmap is built from.
+func (t *ThreadTrace) TraversalWork() (nodes, triTests uint64) {
+	for _, r := range t.Rays {
+		nodes += uint64(len(r.Steps))
+		for _, s := range r.Steps {
+			_, tt := UnpackStep(s)
+			triTests += uint64(tt)
+		}
+	}
+	return nodes, triTests
+}
+
+// FilteredTrace returns the trace executed by a pixel that the Zatel filter
+// mask excludes: the two-instruction prologue of Listing 1 (the injected
+// filter_shader check plus the early return), touching no memory.
+func FilteredTrace() ThreadTrace {
+	return ThreadTrace{Ops: []Op{{Kind: OpCompute, Arg: 2}}}
+}
+
+// Instruction-cost constants for the synthetic ray-generation shader. They
+// approximate the per-phase ALU work of a small Vulkan path tracer.
+const (
+	instrsRayGen    = 8 // camera ray setup
+	instrsMissShade = 2 // sky colour
+	instrsHitShade  = 6 // normal, light vector, BRDF
+	instrsPostLight = 4 // light accumulation after the shadow ray
+	instrsMirror    = 3 // reflection direction
+	instrsBounce    = 5 // hemisphere sample
+)

@@ -1,0 +1,224 @@
+package rt
+
+import (
+	"fmt"
+	"sync"
+
+	"zatel/internal/bvh"
+	"zatel/internal/scene"
+	"zatel/internal/vecmath"
+)
+
+// Workload is a fully traced frame: one ThreadTrace per pixel plus the
+// per-pixel cost profile. It is immutable once built and safe to share
+// across concurrent simulator instances.
+type Workload struct {
+	Scene  *scene.Scene
+	BVH    *bvh.BVH
+	Width  int
+	Height int
+	SPP    int
+	// Traces holds one trace per pixel in row-major order.
+	Traces []ThreadTrace
+	// Cost is the per-pixel execution-cost estimate (row-major) used to
+	// build heatmaps: node visits + 2·triangle tests + instructions/4.
+	Cost []float64
+}
+
+// Pixels returns Width·Height.
+func (w *Workload) Pixels() int { return w.Width * w.Height }
+
+// BuildWorkload path-traces every pixel of the scene at the given
+// resolution and samples-per-pixel, recording traces. It parallelises
+// across rows; results are deterministic regardless of parallelism because
+// every pixel's randomness is derived from (scene seed, pixel, sample).
+func BuildWorkload(s *scene.Scene, width, height, spp int) (*Workload, error) {
+	if width <= 0 || height <= 0 || spp <= 0 {
+		return nil, fmt.Errorf("rt: invalid dimensions %dx%d spp=%d", width, height, spp)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	accel, err := bvh.Build(s, bvh.DefaultOptions())
+	if err != nil {
+		return nil, err
+	}
+	if len(accel.Nodes) > maxNodeIndex {
+		return nil, fmt.Errorf("rt: BVH with %d nodes exceeds packed-step capacity", len(accel.Nodes))
+	}
+
+	w := &Workload{
+		Scene:  s,
+		BVH:    accel,
+		Width:  width,
+		Height: height,
+		SPP:    spp,
+		Traces: make([]ThreadTrace, width*height),
+		Cost:   make([]float64, width*height),
+	}
+
+	cam := s.Cam
+	cam.Finalize(float32(width) / float32(height))
+	root := vecmath.NewRNG(s.Seed)
+
+	var wg sync.WaitGroup
+	rows := make(chan int)
+	workers := 8
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tr := tracer{scene: s, bvh: accel, cam: &cam}
+			for y := range rows {
+				for x := 0; x < width; x++ {
+					pix := y*width + x
+					t := tr.tracePixel(x, y, width, height, spp, root.Split(uint64(pix)))
+					w.Traces[pix] = t
+					nodes, tris := t.TraversalWork()
+					w.Cost[pix] = float64(nodes) + 2*float64(tris) + float64(t.Instructions())/4
+				}
+			}
+		}()
+	}
+	for y := 0; y < height; y++ {
+		rows <- y
+	}
+	close(rows)
+	wg.Wait()
+	return w, nil
+}
+
+// tracer carries the per-goroutine state of workload construction.
+type tracer struct {
+	scene *scene.Scene
+	bvh   *bvh.BVH
+	cam   *scene.Camera
+}
+
+// tracePixel executes the synthetic ray-generation shader for one pixel:
+// spp independent paths, each tracing a primary ray, shadow rays at hits,
+// and mirror/diffuse bounces up to the scene's depth limit.
+func (tr *tracer) tracePixel(x, y, width, height, spp int, rng *vecmath.RNG) ThreadTrace {
+	t := ThreadTrace{}
+	pix := uint32(y*width + x)
+	fbAddr := uint32(FBBase + uint64(pix)*FBBytes)
+
+	compute := func(n uint32) {
+		// Merge adjacent compute ops to keep traces compact.
+		if len(t.Ops) > 0 && t.Ops[len(t.Ops)-1].Kind == OpCompute {
+			t.Ops[len(t.Ops)-1].Arg += n
+			return
+		}
+		t.Ops = append(t.Ops, Op{Kind: OpCompute, Arg: n})
+	}
+	load := func(addr uint64) { t.Ops = append(t.Ops, Op{Kind: OpLoad, Arg: uint32(addr)}) }
+	store := func(addr uint32) { t.Ops = append(t.Ops, Op{Kind: OpStore, Arg: addr}) }
+
+	traceRay := func(r vecmath.Ray, kind RayKind, any bool) (bvh.Hit, bool) {
+		rt := RayTrace{Kind: kind}
+		visit := func(s bvh.Step) {
+			rt.Steps = append(rt.Steps, PackStep(s.Node, s.TriTests))
+		}
+		var hit bvh.Hit
+		var ok bool
+		if any {
+			ok = tr.bvh.IntersectAny(r, visit)
+		} else {
+			hit, ok = tr.bvh.Intersect(r, visit)
+		}
+		t.Ops = append(t.Ops, Op{Kind: OpTrace, Arg: uint32(len(t.Rays))})
+		t.Rays = append(t.Rays, rt)
+		return hit, ok
+	}
+
+	for s := 0; s < spp; s++ {
+		srng := rng.Split(uint64(s))
+		compute(instrsRayGen)
+		u := (float32(x) + srng.Float32()) / float32(width)
+		v := (float32(y) + srng.Float32()) / float32(height)
+		ray := tr.cam.Ray(u, v)
+
+		kind := RayPrimary
+		for depth := 0; ; depth++ {
+			hit, ok := traceRay(ray, kind, false)
+			if !ok {
+				compute(instrsMissShade)
+				store(fbAddr)
+				break
+			}
+			tri := tr.bvh.Tris[hit.Tri]
+			mat := tr.scene.Mats[tri.Mat]
+			load(MatBase + uint64(tri.Mat)*MatBytes)
+			compute(instrsHitShade)
+
+			p := ray.At(hit.T)
+			n := tri.Normal()
+			if n.Dot(ray.Dir) > 0 {
+				n = n.Neg()
+			}
+
+			// Shadow ray toward the point light.
+			toLight := tr.scene.Light.Sub(p)
+			dist := toLight.Len()
+			sray := vecmath.NewRay(p.Add(n.Scale(1e-3)), toLight.Norm())
+			sray.TMax = dist
+			traceRay(sray, RayShadow, true)
+			compute(instrsPostLight)
+
+			if depth >= tr.scene.MaxDepth {
+				store(fbAddr)
+				break
+			}
+			switch mat.Kind {
+			case scene.Emissive:
+				store(fbAddr)
+			case scene.Mirror:
+				compute(instrsMirror)
+				dir := ray.Dir.Reflect(n)
+				ray = vecmath.NewRay(p.Add(n.Scale(1e-3)), dir)
+				kind = RayBounce
+				continue
+			case scene.Diffuse:
+				if srng.Float32() < mat.BounceProb {
+					compute(instrsBounce)
+					ray = vecmath.NewRay(p.Add(n.Scale(1e-3)), srng.Hemisphere(n))
+					kind = RayBounce
+					continue
+				}
+				store(fbAddr)
+			}
+			break
+		}
+	}
+	return t
+}
+
+// workloadKey identifies a cached workload.
+type workloadKey struct {
+	scene string
+	w, h  int
+	spp   int
+}
+
+var workloadCache sync.Map // workloadKey -> *Workload
+
+// CachedWorkload returns the workload for a library scene, building and
+// memoising it on first use. Experiments re-trace the same frames dozens of
+// times; the cache makes the functional trace a one-time cost, mirroring how
+// Zatel profiles a scene once and reuses the result.
+func CachedWorkload(name string, width, height, spp int) (*Workload, error) {
+	key := workloadKey{scene: name, w: width, h: height, spp: spp}
+	if v, ok := workloadCache.Load(key); ok {
+		return v.(*Workload), nil
+	}
+	s, err := scene.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	w, err := BuildWorkload(s, width, height, spp)
+	if err != nil {
+		return nil, err
+	}
+	actual, _ := workloadCache.LoadOrStore(key, w)
+	return actual.(*Workload), nil
+}

@@ -1,0 +1,223 @@
+// Package sampling implements step 5 of the Zatel pipeline: choosing the
+// representative subset of pixels each group's simulator instance traces.
+//
+// The subset size follows Eq. 1 — the group's mean heatmap coldness,
+// clamped to [0.3, 0.6] — and the subset itself is assembled from section
+// blocks according to one of three colour distributions (Section III-E):
+// uniform (match the group's colour histogram), lintmp (Eq. 2, share
+// proportional to warmth) and exptmp (Eq. 3, warmth raised to the fifth
+// power).
+package sampling
+
+import (
+	"fmt"
+
+	"zatel/internal/heatmap"
+	"zatel/internal/partition"
+	"zatel/internal/vecmath"
+)
+
+// Distribution selects how pixels are apportioned across quantized colours.
+type Distribution uint8
+
+const (
+	// Uniform matches the subset's colour distribution to the group's.
+	Uniform Distribution = iota
+	// LinTmp weights each colour linearly by its warmth (Eq. 2).
+	LinTmp
+	// ExpTmp amplifies warm colours by raising warmth to the fifth power
+	// (Eq. 3).
+	ExpTmp
+)
+
+// String implements fmt.Stringer.
+func (d Distribution) String() string {
+	switch d {
+	case Uniform:
+		return "uniform"
+	case LinTmp:
+		return "lintmp"
+	case ExpTmp:
+		return "exptmp"
+	default:
+		return fmt.Sprintf("Distribution(%d)", uint8(d))
+	}
+}
+
+// Eq. 1 clamp bounds: below 30% the paper observed intolerable error,
+// above 60% no meaningful accuracy gains.
+const (
+	MinPercent = 0.3
+	MaxPercent = 0.6
+)
+
+// MeanColdness returns the unclamped Eq. 1 value: the average shifted-hue
+// coldness c_i of the group's pixels.
+func MeanColdness(q *heatmap.Quantized, g *partition.Group) float64 {
+	n := 0
+	sum := 0.0
+	for _, b := range g.Blocks {
+		for _, p := range b.Pixels {
+			sum += q.Cold(int(p))
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// Budget returns Eq. 1's traced-pixel fraction P for the group: the mean
+// coldness clamped to [MinPercent, MaxPercent].
+func Budget(q *heatmap.Quantized, g *partition.Group) float64 {
+	p := MeanColdness(q, g)
+	if p < MinPercent {
+		return MinPercent
+	}
+	if p > MaxPercent {
+		return MaxPercent
+	}
+	return p
+}
+
+// Selection is the chosen representative subset of one group.
+type Selection struct {
+	// Pixels holds the selected plane pixel indices.
+	Pixels []int32
+	// Fraction is len(Pixels) divided by the group size.
+	Fraction float64
+}
+
+// Select assembles a subset of roughly frac·|group| pixels from whole
+// section blocks. Blocks are classified by their dominant quantized colour;
+// each colour receives a pixel quota from the distribution; blocks are
+// drawn randomly within each colour; any shortfall is filled with random
+// unused blocks (Section III-E).
+func Select(q *heatmap.Quantized, g *partition.Group, frac float64, dist Distribution, rng *vecmath.RNG) (Selection, error) {
+	if frac <= 0 || frac > 1 {
+		return Selection{}, fmt.Errorf("sampling: fraction %v out of (0,1]", frac)
+	}
+	m := g.NumPixels()
+	if m == 0 {
+		return Selection{}, fmt.Errorf("sampling: empty group")
+	}
+	target := int(frac*float64(m) + 0.5)
+	if target <= 0 {
+		target = 1
+	}
+	if target >= m {
+		return Selection{Pixels: g.AllPixels(), Fraction: 1}, nil
+	}
+
+	nLevels := len(q.Levels)
+	// Classify blocks by dominant level and build the group's level
+	// histogram.
+	blockLevel := make([]int, len(g.Blocks))
+	levelPixels := make([]int, nLevels)
+	counts := make([]int, nLevels)
+	for bi, b := range g.Blocks {
+		for i := range counts {
+			counts[i] = 0
+		}
+		for _, p := range b.Pixels {
+			lv := q.Index[p]
+			counts[lv]++
+			levelPixels[lv]++
+		}
+		best := 0
+		for lv := 1; lv < nLevels; lv++ {
+			if counts[lv] > counts[best] {
+				best = lv
+			}
+		}
+		blockLevel[bi] = best
+	}
+
+	// Per-level pixel quotas.
+	share := make([]float64, nLevels)
+	switch dist {
+	case Uniform:
+		for lv := range share {
+			share[lv] = float64(levelPixels[lv]) / float64(m)
+		}
+	case LinTmp, ExpTmp:
+		var c float64
+		for lv := range share {
+			if levelPixels[lv] == 0 {
+				continue // colour absent from this group
+			}
+			w := q.Warmth(lv)
+			if dist == ExpTmp {
+				w = w * w * w * w * w
+			}
+			share[lv] = w
+			c += w
+		}
+		if c == 0 {
+			// Entirely cold group: fall back to uniform shares.
+			for lv := range share {
+				share[lv] = float64(levelPixels[lv]) / float64(m)
+			}
+		} else {
+			for lv := range share {
+				share[lv] /= c
+			}
+		}
+	default:
+		return Selection{}, fmt.Errorf("sampling: unknown distribution %d", dist)
+	}
+
+	// Group block indices by level and shuffle within each level.
+	byLevel := make([][]int, nLevels)
+	for bi := range g.Blocks {
+		lv := blockLevel[bi]
+		byLevel[lv] = append(byLevel[lv], bi)
+	}
+	for _, blocks := range byLevel {
+		rng.Shuffle(len(blocks), func(i, j int) { blocks[i], blocks[j] = blocks[j], blocks[i] })
+	}
+
+	taken := make([]bool, len(g.Blocks))
+	var selected []int32
+	take := func(bi int) {
+		taken[bi] = true
+		selected = append(selected, g.Blocks[bi].Pixels...)
+	}
+
+	// Draw hot levels first so warm quotas are honoured before the pool
+	// shrinks.
+	for lv := nLevels - 1; lv >= 0; lv-- {
+		quota := int(share[lv]*float64(target) + 0.5)
+		got := 0
+		for _, bi := range byLevel[lv] {
+			if got >= quota || len(selected) >= target {
+				break
+			}
+			take(bi)
+			got += len(g.Blocks[bi].Pixels)
+		}
+	}
+
+	// Shortfall: random unused blocks until the target is met.
+	if len(selected) < target {
+		rest := make([]int, 0, len(g.Blocks))
+		for bi := range g.Blocks {
+			if !taken[bi] {
+				rest = append(rest, bi)
+			}
+		}
+		rng.Shuffle(len(rest), func(i, j int) { rest[i], rest[j] = rest[j], rest[i] })
+		for _, bi := range rest {
+			if len(selected) >= target {
+				break
+			}
+			take(bi)
+		}
+	}
+
+	return Selection{
+		Pixels:   selected,
+		Fraction: float64(len(selected)) / float64(m),
+	}, nil
+}

@@ -1,0 +1,193 @@
+// Package scene defines the ray-tracing workload model: triangle meshes with
+// materials, a pinhole camera, and a library of deterministic procedural
+// scenes engineered to match the workload characterisations of the
+// LumiBench suite used in the Zatel paper (PARK, SHIP, WKND, BUNNY, SPRNG,
+// CHSNT, SPNZA, BATH).
+package scene
+
+import (
+	"fmt"
+	"math"
+
+	"zatel/internal/vecmath"
+)
+
+// MaterialKind selects the shading behaviour of a surface, which in turn
+// determines how many secondary rays a path spawns.
+type MaterialKind uint8
+
+const (
+	// Diffuse surfaces spawn a shadow ray and, below the scene's path
+	// depth limit, one cosine-weighted bounce ray.
+	Diffuse MaterialKind = iota
+	// Mirror surfaces spawn a perfect reflection ray.
+	Mirror
+	// Emissive surfaces terminate the path.
+	Emissive
+)
+
+// String implements fmt.Stringer.
+func (k MaterialKind) String() string {
+	switch k {
+	case Diffuse:
+		return "diffuse"
+	case Mirror:
+		return "mirror"
+	case Emissive:
+		return "emissive"
+	default:
+		return fmt.Sprintf("MaterialKind(%d)", uint8(k))
+	}
+}
+
+// Material describes a surface's response to light.
+type Material struct {
+	Kind   MaterialKind
+	Albedo vecmath.Vec3
+	// BounceProb is the probability a diffuse path continues with an
+	// indirect bounce (Russian roulette). Ignored for other kinds.
+	BounceProb float32
+}
+
+// Triangle is the sole geometric primitive. Mat indexes Scene.Mats.
+type Triangle struct {
+	V0, V1, V2 vecmath.Vec3
+	Mat        int32
+}
+
+// Bounds returns the triangle's bounding box.
+func (t Triangle) Bounds() vecmath.AABB {
+	return vecmath.EmptyAABB().
+		ExtendPoint(t.V0).
+		ExtendPoint(t.V1).
+		ExtendPoint(t.V2)
+}
+
+// Centroid returns the vertex average, the key used by BVH binning.
+func (t Triangle) Centroid() vecmath.Vec3 {
+	return t.V0.Add(t.V1).Add(t.V2).Scale(1.0 / 3.0)
+}
+
+// Normal returns the (unit) geometric normal.
+func (t Triangle) Normal() vecmath.Vec3 {
+	return t.V1.Sub(t.V0).Cross(t.V2.Sub(t.V0)).Norm()
+}
+
+// Hit performs the Möller–Trumbore intersection test and returns the hit
+// distance within [r.TMin, r.TMax]. This is the test executed by the RT
+// unit's triangle pipeline in the timing model.
+func (t Triangle) Hit(r vecmath.Ray) (float32, bool) {
+	e1 := t.V1.Sub(t.V0)
+	e2 := t.V2.Sub(t.V0)
+	p := r.Dir.Cross(e2)
+	det := e1.Dot(p)
+	if det > -1e-7 && det < 1e-7 {
+		return 0, false
+	}
+	inv := 1 / det
+	s := r.Origin.Sub(t.V0)
+	u := s.Dot(p) * inv
+	if u < 0 || u > 1 {
+		return 0, false
+	}
+	q := s.Cross(e1)
+	v := r.Dir.Dot(q) * inv
+	if v < 0 || u+v > 1 {
+		return 0, false
+	}
+	dist := e2.Dot(q) * inv
+	if dist < r.TMin || dist > r.TMax {
+		return 0, false
+	}
+	return dist, true
+}
+
+// Camera is a pinhole camera. Rays are generated on an image plane one unit
+// in front of the eye.
+type Camera struct {
+	Eye    vecmath.Vec3
+	LookAt vecmath.Vec3
+	Up     vecmath.Vec3
+	// FOVDeg is the vertical field of view in degrees.
+	FOVDeg float32
+
+	// Cached orthonormal basis; populated by Finalize.
+	right, up, fwd vecmath.Vec3
+	halfH, halfW   float32
+	aspect         float32
+}
+
+// Finalize computes the camera basis for the given aspect ratio
+// (width / height). It must be called before Ray.
+func (c *Camera) Finalize(aspect float32) {
+	c.aspect = aspect
+	c.fwd = c.LookAt.Sub(c.Eye).Norm()
+	c.right = c.Up.Cross(c.fwd).Norm()
+	c.up = c.fwd.Cross(c.right)
+	c.halfH = float32(math.Tan(float64(c.FOVDeg) * math.Pi / 360))
+	c.halfW = c.halfH * aspect
+}
+
+// Ray returns the primary ray through normalized image coordinates
+// (u, v) ∈ [0,1)², with v=0 the top row.
+func (c *Camera) Ray(u, v float32) vecmath.Ray {
+	dir := c.fwd.
+		Add(c.right.Scale((2*u - 1) * c.halfW)).
+		Add(c.up.Scale((1 - 2*v) * c.halfH)).
+		Norm()
+	return vecmath.NewRay(c.Eye, dir)
+}
+
+// Scene is a complete ray-tracing workload: geometry, materials, camera,
+// one point light and path-tracing parameters.
+type Scene struct {
+	Name string
+	Tris []Triangle
+	Mats []Material
+	Cam  Camera
+	// Light is the point-light position used for shadow rays.
+	Light vecmath.Vec3
+	// MaxDepth bounds the number of indirect bounces per path.
+	MaxDepth int
+	// Seed roots all stochastic shading decisions for the scene.
+	Seed uint64
+}
+
+// Bounds returns the bounding box of all geometry.
+func (s *Scene) Bounds() vecmath.AABB {
+	b := vecmath.EmptyAABB()
+	for _, t := range s.Tris {
+		b = b.Extend(t.Bounds())
+	}
+	return b
+}
+
+// Validate checks structural invariants: non-empty geometry, material
+// indices in range, degenerate-free triangles, and a sane camera.
+func (s *Scene) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("scene: empty name")
+	}
+	if len(s.Tris) == 0 {
+		return fmt.Errorf("scene %s: no triangles", s.Name)
+	}
+	if len(s.Mats) == 0 {
+		return fmt.Errorf("scene %s: no materials", s.Name)
+	}
+	for i, t := range s.Tris {
+		if t.Mat < 0 || int(t.Mat) >= len(s.Mats) {
+			return fmt.Errorf("scene %s: triangle %d material %d out of range [0,%d)",
+				s.Name, i, t.Mat, len(s.Mats))
+		}
+		if t.Bounds().Diagonal().Len() == 0 {
+			return fmt.Errorf("scene %s: triangle %d is a point", s.Name, i)
+		}
+	}
+	if s.MaxDepth < 0 {
+		return fmt.Errorf("scene %s: negative MaxDepth", s.Name)
+	}
+	if s.Cam.FOVDeg <= 0 || s.Cam.FOVDeg >= 180 {
+		return fmt.Errorf("scene %s: FOV %v out of (0,180)", s.Name, s.Cam.FOVDeg)
+	}
+	return nil
+}

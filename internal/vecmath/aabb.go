@@ -1,0 +1,83 @@
+package vecmath
+
+// AABB is an axis-aligned bounding box described by its two extreme corners.
+type AABB struct {
+	Lo, Hi Vec3
+}
+
+// EmptyAABB returns the identity element for Extend: a box that contains
+// nothing and leaves any box it is merged with unchanged.
+func EmptyAABB() AABB {
+	return AABB{
+		Lo: Vec3{inf, inf, inf},
+		Hi: Vec3{-inf, -inf, -inf},
+	}
+}
+
+// Extend returns the smallest box containing both b and other.
+func (b AABB) Extend(other AABB) AABB {
+	return AABB{Lo: b.Lo.Min(other.Lo), Hi: b.Hi.Max(other.Hi)}
+}
+
+// ExtendPoint returns the smallest box containing b and point p.
+func (b AABB) ExtendPoint(p Vec3) AABB {
+	return AABB{Lo: b.Lo.Min(p), Hi: b.Hi.Max(p)}
+}
+
+// Center returns the box midpoint.
+func (b AABB) Center() Vec3 { return b.Lo.Add(b.Hi).Scale(0.5) }
+
+// Diagonal returns Hi − Lo.
+func (b AABB) Diagonal() Vec3 { return b.Hi.Sub(b.Lo) }
+
+// SurfaceArea returns the total surface area, the quantity minimised by the
+// SAH builder. An empty box reports zero.
+func (b AABB) SurfaceArea() float32 {
+	d := b.Diagonal()
+	if d.X < 0 || d.Y < 0 || d.Z < 0 {
+		return 0
+	}
+	return 2 * (d.X*d.Y + d.Y*d.Z + d.Z*d.X)
+}
+
+// Contains reports whether point p lies inside or on the boundary of b.
+func (b AABB) Contains(p Vec3) bool {
+	return p.X >= b.Lo.X && p.X <= b.Hi.X &&
+		p.Y >= b.Lo.Y && p.Y <= b.Hi.Y &&
+		p.Z >= b.Lo.Z && p.Z <= b.Hi.Z
+}
+
+// Valid reports whether the box is non-empty (Lo ≤ Hi on every axis).
+func (b AABB) Valid() bool {
+	return b.Lo.X <= b.Hi.X && b.Lo.Y <= b.Hi.Y && b.Lo.Z <= b.Hi.Z
+}
+
+// Hit performs the slab intersection test against ray r and returns the
+// entry distance and whether the ray's [TMin, TMax] interval overlaps the
+// box. It is the test executed by the RT unit's box pipeline.
+func (b AABB) Hit(r Ray) (float32, bool) {
+	t0, t1 := r.TMin, r.TMax
+
+	tx0 := (b.Lo.X - r.Origin.X) * r.InvDir.X
+	tx1 := (b.Hi.X - r.Origin.X) * r.InvDir.X
+	if tx0 > tx1 {
+		tx0, tx1 = tx1, tx0
+	}
+	t0, t1 = max(t0, tx0), min(t1, tx1)
+
+	ty0 := (b.Lo.Y - r.Origin.Y) * r.InvDir.Y
+	ty1 := (b.Hi.Y - r.Origin.Y) * r.InvDir.Y
+	if ty0 > ty1 {
+		ty0, ty1 = ty1, ty0
+	}
+	t0, t1 = max(t0, ty0), min(t1, ty1)
+
+	tz0 := (b.Lo.Z - r.Origin.Z) * r.InvDir.Z
+	tz1 := (b.Hi.Z - r.Origin.Z) * r.InvDir.Z
+	if tz0 > tz1 {
+		tz0, tz1 = tz1, tz0
+	}
+	t0, t1 = max(t0, tz0), min(t1, tz1)
+
+	return t0, t0 <= t1
+}

@@ -1,0 +1,154 @@
+package vecmath
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func box(lo, hi Vec3) AABB { return AABB{Lo: lo, Hi: hi} }
+
+func TestEmptyAABBIdentity(t *testing.T) {
+	e := EmptyAABB()
+	if e.Valid() {
+		t.Fatalf("empty box reports valid")
+	}
+	b := box(V(0, 0, 0), V(1, 2, 3))
+	if got := e.Extend(b); got != b {
+		t.Errorf("Extend(empty, b) = %v, want %v", got, b)
+	}
+	if got := b.Extend(e); got != b {
+		t.Errorf("Extend(b, empty) = %v, want %v", got, b)
+	}
+	if e.SurfaceArea() != 0 {
+		t.Errorf("empty surface area = %v", e.SurfaceArea())
+	}
+}
+
+func TestExtendPoint(t *testing.T) {
+	b := EmptyAABB().ExtendPoint(V(1, 1, 1)).ExtendPoint(V(-1, 2, 0))
+	want := box(V(-1, 1, 0), V(1, 2, 1))
+	if b != want {
+		t.Errorf("ExtendPoint = %v, want %v", b, want)
+	}
+}
+
+func TestSurfaceAreaUnitCube(t *testing.T) {
+	b := box(V(0, 0, 0), V(1, 1, 1))
+	if b.SurfaceArea() != 6 {
+		t.Errorf("unit cube area = %v", b.SurfaceArea())
+	}
+}
+
+func TestCenterDiagonal(t *testing.T) {
+	b := box(V(0, 0, 0), V(2, 4, 6))
+	if b.Center() != V(1, 2, 3) {
+		t.Errorf("Center = %v", b.Center())
+	}
+	if b.Diagonal() != V(2, 4, 6) {
+		t.Errorf("Diagonal = %v", b.Diagonal())
+	}
+}
+
+func TestAABBHitThroughCenter(t *testing.T) {
+	b := box(V(-1, -1, -1), V(1, 1, 1))
+	r := NewRay(V(0, 0, -5), V(0, 0, 1))
+	tHit, ok := b.Hit(r)
+	if !ok {
+		t.Fatalf("ray through center misses")
+	}
+	if !approx(tHit, 4, 1e-4) {
+		t.Errorf("entry t = %v, want 4", tHit)
+	}
+}
+
+func TestAABBHitMiss(t *testing.T) {
+	b := box(V(-1, -1, -1), V(1, 1, 1))
+	r := NewRay(V(0, 5, -5), V(0, 0, 1)) // passes above the box
+	if _, ok := b.Hit(r); ok {
+		t.Errorf("ray above the box reported hit")
+	}
+	// Ray pointing away from the box.
+	r2 := NewRay(V(0, 0, -5), V(0, 0, -1))
+	if _, ok := b.Hit(r2); ok {
+		t.Errorf("ray pointing away reported hit")
+	}
+}
+
+func TestAABBHitAxisParallel(t *testing.T) {
+	b := box(V(-1, -1, -1), V(1, 1, 1))
+	// Ray with zero X and Y direction components, inside the slab.
+	r := NewRay(V(0.5, 0.5, -5), V(0, 0, 1))
+	if _, ok := b.Hit(r); !ok {
+		t.Errorf("axis-parallel ray inside slabs missed")
+	}
+	// Same but outside the X slab.
+	r2 := NewRay(V(2, 0.5, -5), V(0, 0, 1))
+	if _, ok := b.Hit(r2); ok {
+		t.Errorf("axis-parallel ray outside slab hit")
+	}
+}
+
+func TestAABBHitOriginInside(t *testing.T) {
+	b := box(V(-1, -1, -1), V(1, 1, 1))
+	r := NewRay(V(0, 0, 0), V(1, 0, 0))
+	if _, ok := b.Hit(r); !ok {
+		t.Errorf("ray starting inside missed")
+	}
+}
+
+func TestAABBHitRespectsTMax(t *testing.T) {
+	b := box(V(-1, -1, -1), V(1, 1, 1))
+	r := NewRay(V(0, 0, -5), V(0, 0, 1))
+	r.TMax = 3 // box entry is at t=4, beyond TMax
+	if _, ok := b.Hit(r); ok {
+		t.Errorf("hit beyond TMax accepted")
+	}
+}
+
+// Property: a box always contains its center, and extending by a point makes
+// the box contain that point.
+func TestAABBContainsProperty(t *testing.T) {
+	f := func(ax, ay, az, bx, by, bz, px, py, pz float32) bool {
+		clamp := func(x float32) float32 {
+			if x > 1e6 {
+				return 1e6
+			}
+			if x < -1e6 {
+				return -1e6
+			}
+			if x != x { // NaN
+				return 0
+			}
+			return x
+		}
+		a := V(clamp(ax), clamp(ay), clamp(az))
+		b := V(clamp(bx), clamp(by), clamp(bz))
+		p := V(clamp(px), clamp(py), clamp(pz))
+		bb := EmptyAABB().ExtendPoint(a).ExtendPoint(b)
+		if !bb.Contains(bb.Center()) {
+			return false
+		}
+		return bb.ExtendPoint(p).Contains(p)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: rays aimed at a point inside the box always hit the box.
+func TestAABBHitAimedProperty(t *testing.T) {
+	rng := NewRNG(7)
+	b := box(V(-2, -1, -3), V(1, 2, 0.5))
+	for i := 0; i < 500; i++ {
+		target := V(
+			rng.Range(b.Lo.X, b.Hi.X),
+			rng.Range(b.Lo.Y, b.Hi.Y),
+			rng.Range(b.Lo.Z, b.Hi.Z),
+		)
+		origin := rng.UnitSphere().Scale(20)
+		r := NewRay(origin, target.Sub(origin).Norm())
+		if _, ok := b.Hit(r); !ok {
+			t.Fatalf("aimed ray %d missed: origin=%v target=%v", i, origin, target)
+		}
+	}
+}

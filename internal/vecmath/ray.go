@@ -1,0 +1,40 @@
+package vecmath
+
+// Ray is a parametric half-line Origin + t·Dir for t in [TMin, TMax].
+type Ray struct {
+	Origin Vec3
+	Dir    Vec3
+	// InvDir caches 1/Dir per component for slab tests. Call Finalize
+	// after setting Dir.
+	InvDir Vec3
+	TMin   float32
+	TMax   float32
+}
+
+// NewRay returns a ray from origin along dir (normalised by the caller if
+// required) with the standard [epsilon, +inf) interval, ready for slab tests.
+func NewRay(origin, dir Vec3) Ray {
+	r := Ray{Origin: origin, Dir: dir, TMin: 1e-4, TMax: inf}
+	r.Finalize()
+	return r
+}
+
+const inf = float32(3.4e38)
+
+// Finalize recomputes the cached reciprocal direction. It must be called
+// whenever Dir changes.
+func (r *Ray) Finalize() {
+	r.InvDir = Vec3{safeInv(r.Dir.X), safeInv(r.Dir.Y), safeInv(r.Dir.Z)}
+}
+
+// At returns the point Origin + t·Dir.
+func (r Ray) At(t float32) Vec3 { return r.Origin.Add(r.Dir.Scale(t)) }
+
+func safeInv(x float32) float32 {
+	if x == 0 {
+		// Signed infinity keeps the slab test correct for axis-parallel
+		// rays: 0·inf produces NaN which the min/max ordering rejects.
+		return inf
+	}
+	return 1 / x
+}

@@ -1,0 +1,143 @@
+package vecmath
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at draw %d", i)
+		}
+	}
+}
+
+func TestRNGSeedsDiffer(t *testing.T) {
+	a, b := NewRNG(1), NewRNG(2)
+	same := 0
+	for i := 0; i < 64; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("%d/64 draws collided across seeds", same)
+	}
+}
+
+func TestRNGSplitIndependence(t *testing.T) {
+	root := NewRNG(9)
+	s1 := root.Split(1)
+	s2 := root.Split(2)
+	if s1.Uint64() == s2.Uint64() {
+		t.Errorf("adjacent split ids produced identical first draw")
+	}
+	// Splitting must not advance the parent stream.
+	r1 := NewRNG(9)
+	r2 := NewRNG(9)
+	_ = r2.Split(5)
+	if r1.Uint64() != r2.Uint64() {
+		t.Errorf("Split advanced the parent stream")
+	}
+}
+
+func TestFloat32Bounds(t *testing.T) {
+	r := NewRNG(3)
+	for i := 0; i < 10000; i++ {
+		f := r.Float32()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float32 out of [0,1): %v", f)
+		}
+	}
+}
+
+func TestFloat32Uniformity(t *testing.T) {
+	// Coarse uniformity: 10 buckets should each hold roughly n/10 samples.
+	r := NewRNG(11)
+	const n = 100000
+	var buckets [10]int
+	for i := 0; i < n; i++ {
+		buckets[int(r.Float32()*10)]++
+	}
+	for i, c := range buckets {
+		if c < n/10-n/50 || c > n/10+n/50 {
+			t.Errorf("bucket %d count %d far from %d", i, c, n/10)
+		}
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := NewRNG(5)
+	seen := map[int]bool{}
+	for i := 0; i < 1000; i++ {
+		v := r.Intn(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("Intn(7) = %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 7 {
+		t.Errorf("Intn(7) only produced %d distinct values", len(seen))
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("Intn(0) did not panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestUnitSphereIsUnit(t *testing.T) {
+	r := NewRNG(13)
+	for i := 0; i < 1000; i++ {
+		v := r.UnitSphere()
+		if math.Abs(float64(v.Len())-1) > 1e-4 {
+			t.Fatalf("UnitSphere length %v", v.Len())
+		}
+	}
+}
+
+func TestHemisphereSide(t *testing.T) {
+	r := NewRNG(17)
+	n := V(0, 1, 0)
+	neg := 0
+	for i := 0; i < 2000; i++ {
+		d := r.Hemisphere(n)
+		if d.Dot(n) < -1e-3 {
+			neg++
+		}
+	}
+	// The perturbed-normal construction keeps directions on the normal's
+	// side of the tangent plane.
+	if neg > 0 {
+		t.Errorf("%d/2000 hemisphere samples below the surface", neg)
+	}
+}
+
+func TestShuffleIsPermutation(t *testing.T) {
+	r := NewRNG(23)
+	xs := []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	r.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	seen := map[int]bool{}
+	for _, x := range xs {
+		seen[x] = true
+	}
+	if len(seen) != 10 {
+		t.Errorf("shuffle lost elements: %v", xs)
+	}
+}
+
+func TestRangeBounds(t *testing.T) {
+	r := NewRNG(29)
+	for i := 0; i < 1000; i++ {
+		v := r.Range(-3, 5)
+		if v < -3 || v >= 5 {
+			t.Fatalf("Range(-3,5) = %v", v)
+		}
+	}
+}

@@ -1,0 +1,7 @@
+#!/bin/sh
+cd /root/repo
+go test ./... -count=1 -timeout 30m > /root/repo/test_output.txt 2>&1
+echo "TESTS_EXIT=$?" >> /root/repo/test_output.txt
+go test -bench=. -benchmem -timeout 90m ./... > /root/repo/bench_output.txt 2>&1
+echo "BENCH_EXIT=$?" >> /root/repo/bench_output.txt
+touch /root/repo/.capture_done
