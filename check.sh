@@ -1,0 +1,10 @@
+#!/bin/sh
+# Tier-1 verification: vet, build, then the full test suite under the race
+# detector (the worker-pool runner makes every experiment grid concurrent,
+# so -race is part of the baseline, not an extra).
+set -eu
+cd "$(dirname "$0")"
+
+go vet ./...
+go build ./...
+go test -race ./...

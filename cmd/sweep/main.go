@@ -27,13 +27,14 @@ func main() {
 		spp     = flag.Int("spp", 1, "samples per pixel")
 		cfgName = flag.String("config", "rtx2060", "config for per-config sweeps (mobile or rtx2060)")
 		reps    = flag.Int("reps", 5, "random-selection repetitions for table3")
+		workers = flag.Int("workers", 0, "experiment-grid worker pool size (0 = one per CPU core, 1 = serial)")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
 		usage()
 	}
 
-	settings := experiments.Settings{Width: *res, Height: *res, SPP: *spp}
+	settings := experiments.Settings{Width: *res, Height: *res, SPP: *spp, Workers: *workers}
 	cfg, err := configByName(*cfgName)
 	if err != nil {
 		fatal(err)

@@ -36,6 +36,8 @@ func main() {
 		regression = flag.Bool("regression", false, "use exponential-regression extrapolation (20/30/40% runs)")
 		compare    = flag.Bool("compare", false, "also run the full simulation and report errors and speedup")
 		seed       = flag.Uint64("seed", 1, "selection randomness seed")
+		parallel   = flag.Bool("parallel", false, "run the K group instances on the worker pool")
+		workers    = flag.Int("workers", 0, "pool size with -parallel (0 = one per CPU core)")
 	)
 	flag.Parse()
 
@@ -53,6 +55,8 @@ func main() {
 		MaxFraction:   *maxPercent,
 		Regression:    *regression,
 		Seed:          *seed,
+		Parallel:      *parallel,
+		Workers:       *workers,
 	}
 	switch strings.ToLower(*division) {
 	case "fine":
@@ -81,12 +85,13 @@ func main() {
 	fmt.Printf("zatel: %s on %s (%dx%d, %d spp), K=%d, %s division, %s distribution\n",
 		*sceneName, cfg.Name, *res, *res, *spp, result.K, opts.Division, opts.Dist)
 	for gi, g := range result.Groups {
-		fmt.Printf("  group %d: %d/%d pixels traced (%.1f%%), %d cycles, %s\n",
+		fmt.Printf("  group %d: %d/%d pixels traced (%.1f%%), %d cycles, %s (queued %s)\n",
 			gi, g.Selected, g.Pixels, 100*g.Fraction, g.Report.Cycles,
-			g.WallTime.Round(1e6))
+			g.WallTime.Round(1e6), g.QueueTime.Round(1e6))
 	}
-	fmt.Printf("preprocess %s, simulation wall %s (slowest instance)\n\n",
-		result.PreprocessTime.Round(1e6), result.SimWallTime.Round(1e6))
+	fmt.Printf("preprocess %s, simulation wall %s (slowest instance), cpu %s (all instances)\n\n",
+		result.PreprocessTime.Round(1e6), result.SimWallTime.Round(1e6),
+		result.TotalCPUTime.Round(1e6))
 
 	if !*compare {
 		fmt.Printf("%-22s%16s\n", "Metric", "Predicted")

@@ -11,8 +11,8 @@
 package core
 
 import (
+	"context"
 	"fmt"
-	"sync"
 	"time"
 
 	"zatel/internal/combine"
@@ -23,6 +23,7 @@ import (
 	"zatel/internal/metrics"
 	"zatel/internal/partition"
 	"zatel/internal/rt"
+	"zatel/internal/runner"
 	"zatel/internal/sampling"
 	"zatel/internal/vecmath"
 )
@@ -46,6 +47,9 @@ func (d Division) String() string {
 	}
 	return "coarse"
 }
+
+// Valid reports whether d names one of the two division methods.
+func (d Division) Valid() bool { return d == FineGrained || d == CoarseGrained }
 
 // Options configures a prediction. Zero values select the paper's defaults.
 type Options struct {
@@ -87,12 +91,16 @@ type Options struct {
 	// Regression enables the Section IV-F exponential-regression
 	// extrapolation from runs at 20/30/40%.
 	Regression bool
-	// Parallel runs the group instances on concurrent goroutines. The
-	// default runs them serially and reports the slowest group as the
-	// simulation wall time — the honest model of the paper's deployment
-	// (one simulator process per CPU core) that is also correct on
-	// single-core hosts, where concurrent instances merely time-slice.
+	// Parallel runs the group instances on the bounded worker pool
+	// (internal/runner). The default runs them serially and reports the
+	// slowest group as the simulation wall time — the honest model of the
+	// paper's deployment (one simulator process per CPU core) that is also
+	// correct on single-core hosts, where concurrent instances merely
+	// time-slice.
 	Parallel bool
+	// Workers bounds the pool when Parallel is set (0 = one worker per
+	// CPU core, runtime.GOMAXPROCS).
+	Workers int
 	// Seed roots block-selection randomness (default 1).
 	Seed uint64
 }
@@ -139,6 +147,9 @@ type GroupRun struct {
 	Selected int
 	// WallTime is the host time this group's simulation(s) took.
 	WallTime time.Duration
+	// QueueTime is how long the group waited for a pool worker — nonzero
+	// when more groups than workers contend for the pool.
+	QueueTime time.Duration
 }
 
 // Result is a complete Zatel prediction.
@@ -165,12 +176,40 @@ var filteredTrace = rt.FilteredTrace()
 
 // Predict runs the Zatel pipeline.
 func Predict(opts Options) (*Result, error) {
-	opts.fillDefaults()
-	if err := opts.Config.Validate(); err != nil {
-		return nil, err
+	return PredictContext(context.Background(), opts)
+}
+
+// validate checks every option enum and range up front, before the
+// expensive workload build: an invalid division or distribution must not
+// cost a full path trace first.
+func (o *Options) validate() error {
+	if err := o.Config.Validate(); err != nil {
+		return err
 	}
-	if opts.FixedFraction < 0 || opts.FixedFraction > 1 {
-		return nil, fmt.Errorf("core: FixedFraction %v out of [0,1]", opts.FixedFraction)
+	if o.FixedFraction < 0 || o.FixedFraction > 1 {
+		return fmt.Errorf("core: FixedFraction %v out of [0,1]", o.FixedFraction)
+	}
+	if o.MaxFraction < 0 || o.MaxFraction > 1 {
+		return fmt.Errorf("core: MaxFraction %v out of [0,1]", o.MaxFraction)
+	}
+	if !o.Division.Valid() {
+		return fmt.Errorf("core: unknown division %d", o.Division)
+	}
+	if !o.Dist.Valid() {
+		return fmt.Errorf("core: unknown distribution %d", o.Dist)
+	}
+	if o.K < 0 {
+		return fmt.Errorf("core: negative downscaling factor %d", o.K)
+	}
+	return nil
+}
+
+// PredictContext runs the Zatel pipeline. Cancelling ctx stops group
+// simulations that have not started yet.
+func PredictContext(ctx context.Context, opts Options) (*Result, error) {
+	opts.fillDefaults()
+	if err := opts.validate(); err != nil {
+		return nil, err
 	}
 
 	// The functional workload (traces + per-pixel cost) is shared
@@ -212,13 +251,10 @@ func Predict(opts Options) (*Result, error) {
 
 	// Step 4: image-plane division.
 	var groups []partition.Group
-	switch opts.Division {
-	case FineGrained:
+	if opts.Division == FineGrained {
 		groups, err = partition.Fine(wl.Width, wl.Height, k, opts.ChunkW, opts.ChunkH)
-	case CoarseGrained:
+	} else {
 		groups, err = partition.Coarse(wl.Width, wl.Height, k, opts.BlockW, opts.BlockH)
-	default:
-		err = fmt.Errorf("core: unknown division %d", opts.Division)
 	}
 	if err != nil {
 		return nil, err
@@ -255,33 +291,37 @@ func Predict(opts Options) (*Result, error) {
 		plans[gi] = groupPlan{pixels: g.AllPixels(), selected: keep, fraction: sel.Fraction}
 	}
 
-	// Step 6: one downscaled simulator instance per group.
+	// Step 6: one downscaled simulator instance per group, scheduled on the
+	// bounded worker pool. Serial mode is the one-worker pool, so ordering
+	// and accounting are uniform; errors aggregate fail-soft across groups.
+	workers := 1
+	if opts.Parallel {
+		workers = runner.PoolSize(opts.Workers)
+	}
+	type groupOut struct {
+		run  GroupRun
+		vals combine.GroupValues
+	}
+	simStart := time.Now()
+	results, jobErr := runner.Map(ctx, len(groups), workers,
+		func(_ context.Context, gi int) (groupOut, error) {
+			run, vals, err := simulateGroup(wl, cfg, plans[gi].pixels,
+				plans[gi].selected, plans[gi].fraction, opts.Regression)
+			if err != nil {
+				return groupOut{}, fmt.Errorf("group %d: %w", gi, err)
+			}
+			return groupOut{run: run, vals: vals}, nil
+		})
+	elapsed := time.Since(simStart)
+	if jobErr != nil {
+		return nil, fmt.Errorf("core: %w", jobErr)
+	}
 	runs := make([]GroupRun, len(groups))
 	values := make([]combine.GroupValues, len(groups))
-	errs := make([]error, len(groups))
-	simStart := time.Now()
-	if opts.Parallel {
-		var wg sync.WaitGroup
-		for gi := range groups {
-			wg.Add(1)
-			go func(gi int) {
-				defer wg.Done()
-				runs[gi], values[gi], errs[gi] = simulateGroup(wl, cfg, plans[gi].pixels,
-					plans[gi].selected, plans[gi].fraction, opts.Regression)
-			}(gi)
-		}
-		wg.Wait()
-	} else {
-		for gi := range groups {
-			runs[gi], values[gi], errs[gi] = simulateGroup(wl, cfg, plans[gi].pixels,
-				plans[gi].selected, plans[gi].fraction, opts.Regression)
-		}
-	}
-	elapsed := time.Since(simStart)
-	for gi, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("core: group %d: %w", gi, err)
-		}
+	for gi := range results {
+		runs[gi] = results[gi].Value.run
+		runs[gi].QueueTime = results[gi].QueueTime
+		values[gi] = results[gi].Value.vals
 	}
 
 	// Step 7: combine.
@@ -343,8 +383,9 @@ func simulateGroup(wl *rt.Workload, cfg config.Config, pixels []int32,
 	// the samples.
 	fracs := [3]float64{0.2, 0.3, 0.4}
 	var reps [3]metrics.Report
+	var sub map[int32]bool
 	for i, f := range fracs {
-		sub := subsetOf(pixels, selected, f)
+		sub = subsetOf(pixels, selected, f)
 		rep, err := gpu.Run(gpu.Job{Cfg: cfg, Traces: groupTraces(wl, pixels, sub)})
 		if err != nil {
 			return run, nil, err
@@ -353,7 +394,9 @@ func simulateGroup(wl *rt.Workload, cfg config.Config, pixels []int32,
 	}
 	run.Report = reps[2]
 	run.Fraction = fracs[2]
-	run.Selected = int(fracs[2] * float64(len(pixels)))
+	// Report the actual subset size of the 40% run: subsetOf rounds, so
+	// recomputing the count by truncation here could disagree by a pixel.
+	run.Selected = len(sub)
 	run.WallTime = time.Since(start)
 
 	vals := make(combine.GroupValues, len(metrics.All()))

@@ -49,6 +49,8 @@ type DownscaleResult struct {
 	Factors  []int
 	// Points indexed [division][scene][factor position].
 	Points map[core.Division]map[string][]DownscalePoint
+	// Pool is the sweep grid's worker-pool accounting.
+	Pool PoolStats
 }
 
 // DownscaleSweep runs the downscaling-factor sweep on the given scenes
@@ -71,33 +73,53 @@ func DownscaleSweep(s Settings, cfg config.Config, scenes []string) (*DownscaleR
 		Factors:  factors,
 		Points:   map[core.Division]map[string][]DownscalePoint{},
 	}
-	for _, div := range []core.Division{core.FineGrained, core.CoarseGrained} {
+	// References serially first (their wall time feeds the speedup
+	// column), then the (division × scene × factor) grid on the pool.
+	refs := make(map[string]metrics.Report, len(scenes))
+	for _, sc := range scenes {
+		ref, err := s.reference(cfg, sc)
+		if err != nil {
+			return nil, err
+		}
+		refs[sc] = ref
+	}
+
+	divs := []core.Division{core.FineGrained, core.CoarseGrained}
+	nsc, nk := len(scenes), len(factors)
+	rs, pool, err := gridMap(s, len(divs)*nsc*nk, func(i int) (DownscalePoint, error) {
+		div := divs[i/(nsc*nk)]
+		sc := scenes[(i/nk)%nsc]
+		k := factors[i%nk]
+		opts := s.baseOptions(cfg, sc)
+		opts.K = k
+		opts.Division = div
+		opts.SingleGroup = true
+		opts.FixedFraction = 1 // trace every pixel of the group
+		res, err := core.Predict(opts)
+		if err != nil {
+			return DownscalePoint{}, fmt.Errorf("downscale %s K=%d %s: %w", sc, k, div, err)
+		}
+		ref := refs[sc]
+		return DownscalePoint{
+			Scene:    sc,
+			K:        k,
+			Division: div,
+			Errors:   res.Errors(ref),
+			SimWall:  res.PreprocessTime + res.SimWallTime,
+			RefWall:  ref.WallTime,
+			Speedup:  res.Speedup(ref),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out.Pool = pool
+	for di, div := range divs {
 		out.Points[div] = map[string][]DownscalePoint{}
-		for _, sc := range scenes {
-			ref, err := s.reference(cfg, sc)
-			if err != nil {
-				return nil, err
-			}
-			pts := make([]DownscalePoint, 0, len(factors))
-			for _, k := range factors {
-				opts := s.baseOptions(cfg, sc)
-				opts.K = k
-				opts.Division = div
-				opts.SingleGroup = true
-				opts.FixedFraction = 1 // trace every pixel of the group
-				res, err := core.Predict(opts)
-				if err != nil {
-					return nil, fmt.Errorf("downscale %s K=%d %s: %w", sc, k, div, err)
-				}
-				pts = append(pts, DownscalePoint{
-					Scene:    sc,
-					K:        k,
-					Division: div,
-					Errors:   res.Errors(ref),
-					SimWall:  res.PreprocessTime + res.SimWallTime,
-					RefWall:  ref.WallTime,
-					Speedup:  res.Speedup(ref),
-				})
+		for si, sc := range scenes {
+			pts := make([]DownscalePoint, nk)
+			for ki := range factors {
+				pts[ki] = rs[di*nsc*nk+si*nk+ki].Value
 			}
 			out.Points[div][sc] = pts
 		}
@@ -153,6 +175,7 @@ func (r *DownscaleResult) RenderSpeedup(w io.Writer) {
 		}
 		fmt.Fprintln(w)
 	}
+	r.Pool.Render(w)
 	fmt.Fprintln(w, "(paper: downscaling speedups track the pixel-reduction speedups of Fig. 15 —")
 	fmt.Fprintln(w, " downscaling itself does not significantly reduce execution time)")
 }

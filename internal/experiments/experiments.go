@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -13,6 +14,7 @@ import (
 	"zatel/internal/config"
 	"zatel/internal/core"
 	"zatel/internal/metrics"
+	"zatel/internal/runner"
 	"zatel/internal/scene"
 )
 
@@ -25,6 +27,11 @@ type Settings struct {
 	Width  int
 	Height int
 	SPP    int
+	// Workers bounds the worker pool the experiment grid is scheduled on
+	// (0 = one worker per CPU core, 1 = serial). Grid points are
+	// independent (scene × parameter) simulations, so the rendered numbers
+	// are identical at any pool size; only the timing columns move.
+	Workers int
 }
 
 // Default returns the evaluation default (256×256, 1 spp).
@@ -63,6 +70,44 @@ func Configs() []config.Config {
 
 // AllScenes returns the LumiBench scene names used in the evaluation.
 func AllScenes() []string { return scene.Names() }
+
+// PoolStats records how an experiment's job grid ran on the worker pool:
+// CPU is what the grid costs serially (summed per-job execution time), Wall
+// what it actually took end to end. The gap between the two is the
+// concurrency the Section III-F deployment model banks on.
+type PoolStats struct {
+	Jobs    int
+	Workers int
+	Wall    time.Duration
+	CPU     time.Duration
+}
+
+// Render prints the cpu-vs-wall accounting line appended to every
+// experiment table.
+func (p PoolStats) Render(w io.Writer) {
+	if p.Jobs == 0 {
+		return
+	}
+	conc := 1.0
+	if p.Wall > 0 {
+		conc = float64(p.CPU) / float64(p.Wall)
+	}
+	fmt.Fprintf(w, "pool: %d jobs on %d workers — cpu %s, wall %s (%.1fx concurrency)\n",
+		p.Jobs, p.Workers, fmtDur(p.CPU), fmtDur(p.Wall), conc)
+}
+
+// gridMap schedules n independent grid points on the Settings' worker pool
+// and returns the results in submission order plus the pool accounting.
+// The error, if any, aggregates every failed point (fail-soft: one bad
+// point does not stop the rest of the grid).
+func gridMap[T any](s Settings, n int, fn func(i int) (T, error)) ([]runner.Result[T], PoolStats, error) {
+	start := time.Now()
+	rs, err := runner.Map(context.Background(), n, s.Workers,
+		func(_ context.Context, i int) (T, error) { return fn(i) })
+	stats := PoolStats{Jobs: n, Workers: runner.PoolSize(s.Workers), Wall: time.Since(start)}
+	stats.CPU, _ = runner.Totals(rs)
+	return rs, stats, err
+}
 
 // fmtDur prints a duration with millisecond precision.
 func fmtDur(d time.Duration) string { return d.Round(time.Millisecond).String() }

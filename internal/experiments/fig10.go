@@ -5,6 +5,7 @@ import (
 	"io"
 	"sort"
 
+	"zatel/internal/config"
 	"zatel/internal/core"
 	"zatel/internal/metrics"
 )
@@ -25,6 +26,8 @@ type Fig10Result struct {
 	// Capped holds the MaxFraction=0.1 Mobile SoC run (MAE and speedup).
 	CappedMAE     float64
 	CappedSpeedup float64
+	// Pool is the prediction grid's worker-pool accounting.
+	Pool PoolStats
 }
 
 // Fig10 runs the fully optimized Zatel (fine-grained division, Eq. 1
@@ -41,36 +44,61 @@ func Fig10(s Settings) (*Fig10Result, error) {
 		Speedup:  map[string]float64{},
 		K:        map[string]int{},
 	}
-	for _, cfg := range Configs() {
+	// References first (serial: their wall time feeds the speedup rows),
+	// then the three predictions — both configs plus the 10%-capped Mobile
+	// SoC variant — fan out on the worker pool.
+	cfgs := Configs()
+	refs := make(map[string]metrics.Report, len(cfgs))
+	for _, cfg := range cfgs {
 		ref, err := s.reference(cfg, "PARK")
 		if err != nil {
 			return nil, err
 		}
-		res, err := core.Predict(s.baseOptions(cfg, "PARK"))
-		if err != nil {
-			return nil, err
-		}
-		errs := res.Errors(ref)
-		out.Errors[cfg.Name] = errs
-		out.MAE[cfg.Name] = metrics.MAE(errs, metrics.All())
-		out.Speedup[cfg.Name] = res.Speedup(ref)
-		out.K[cfg.Name] = res.K
+		refs[cfg.Name] = ref
 	}
 
-	// The drastically-reduced variant: trace at most 10% of each group.
-	soc := Configs()[0]
-	ref, err := s.reference(soc, "PARK")
+	type prediction struct {
+		errs    map[metrics.Metric]float64
+		mae     float64
+		speedup float64
+		k       int
+	}
+	jobs := append([]config.Config{}, cfgs...)
+	jobs = append(jobs, cfgs[0]) // the capped variant reuses the SoC config
+	rs, pool, err := gridMap(s, len(jobs), func(i int) (prediction, error) {
+		cfg := jobs[i]
+		opts := s.baseOptions(cfg, "PARK")
+		capped := i == len(jobs)-1
+		if capped {
+			// The drastically-reduced variant: at most 10% of each group.
+			opts.MaxFraction = 0.1
+		}
+		res, err := core.Predict(opts)
+		if err != nil {
+			return prediction{}, fmt.Errorf("fig10 %s capped=%v: %w", cfg.Name, capped, err)
+		}
+		errs := res.Errors(refs[cfg.Name])
+		return prediction{
+			errs:    errs,
+			mae:     metrics.MAE(errs, metrics.All()),
+			speedup: res.Speedup(refs[cfg.Name]),
+			k:       res.K,
+		}, nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	opts := s.baseOptions(soc, "PARK")
-	opts.MaxFraction = 0.1
-	res, err := core.Predict(opts)
-	if err != nil {
-		return nil, err
+	out.Pool = pool
+	for i, cfg := range cfgs {
+		p := rs[i].Value
+		out.Errors[cfg.Name] = p.errs
+		out.MAE[cfg.Name] = p.mae
+		out.Speedup[cfg.Name] = p.speedup
+		out.K[cfg.Name] = p.k
 	}
-	out.CappedMAE = metrics.MAE(res.Errors(ref), metrics.All())
-	out.CappedSpeedup = res.Speedup(ref)
+	capped := rs[len(jobs)-1].Value
+	out.CappedMAE = capped.mae
+	out.CappedSpeedup = capped.speedup
 	return out, nil
 }
 
@@ -115,5 +143,6 @@ func (r *Fig10Result) Render(w io.Writer) {
 	fmt.Fprintln(w)
 	fmt.Fprintf(w, "MobileSoC capped at 10%% pixels: MAE %s, speedup %.1fx\n",
 		pct(r.CappedMAE), r.CappedSpeedup)
+	r.Pool.Render(w)
 	fmt.Fprintf(w, "(paper: MAE 4.5%% SoC / 15.1%% RTX, ~10x speedup; 50x at 10%% cap with 5.2%% MAE)\n")
 }

@@ -21,6 +21,8 @@ type Fig11Result struct {
 	// Diff is |Zatel−FullSim| per metric (the paper reports max 37.6% for
 	// L2 miss rate and min 0.6% for L1D).
 	Diff map[metrics.Metric]float64
+	// Pool is the per-config job grid's worker-pool accounting.
+	Pool PoolStats
 }
 
 // Fig11 measures the normalized architecture comparison on PARK.
@@ -29,24 +31,30 @@ func Fig11(s Settings) (*Fig11Result, error) {
 		return nil, err
 	}
 	cfgs := Configs()
-	soc, rtx := cfgs[0], cfgs[1]
 
-	refSoC, err := s.reference(soc, "PARK")
+	// One job per configuration, each pairing the ground-truth reference
+	// with the Zatel prediction. No wall-time column here, so the
+	// references may share the pool with everything else.
+	type pair struct {
+		ref  metrics.Report
+		pred *core.Result
+	}
+	rs, pool, err := gridMap(s, len(cfgs), func(i int) (pair, error) {
+		ref, err := s.reference(cfgs[i], "PARK")
+		if err != nil {
+			return pair{}, fmt.Errorf("fig11 %s reference: %w", cfgs[i].Name, err)
+		}
+		pred, err := core.Predict(s.baseOptions(cfgs[i], "PARK"))
+		if err != nil {
+			return pair{}, fmt.Errorf("fig11 %s: %w", cfgs[i].Name, err)
+		}
+		return pair{ref: ref, pred: pred}, nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	refRTX, err := s.reference(rtx, "PARK")
-	if err != nil {
-		return nil, err
-	}
-	predSoC, err := core.Predict(s.baseOptions(soc, "PARK"))
-	if err != nil {
-		return nil, err
-	}
-	predRTX, err := core.Predict(s.baseOptions(rtx, "PARK"))
-	if err != nil {
-		return nil, err
-	}
+	refSoC, refRTX := rs[0].Value.ref, rs[1].Value.ref
+	predSoC, predRTX := rs[0].Value.pred, rs[1].Value.pred
 
 	out := &Fig11Result{
 		Settings: s,
@@ -54,6 +62,7 @@ func Fig11(s Settings) (*Fig11Result, error) {
 		Zatel:    map[metrics.Metric]float64{},
 		Diff:     map[metrics.Metric]float64{},
 	}
+	out.Pool = pool
 	for _, m := range metrics.All() {
 		out.FullSim[m] = safeDiv(refRTX.Value(m), refSoC.Value(m))
 		out.Zatel[m] = safeDiv(predRTX.Predicted[m], predSoC.Predicted[m])
@@ -86,5 +95,6 @@ func (r *Fig11Result) Render(w io.Writer) {
 		fmt.Fprintf(w, "%-22s%12.3f%12.3f%14s\n",
 			m, r.FullSim[m], r.Zatel[m], pct(r.Diff[m]))
 	}
+	r.Pool.Render(w)
 	fmt.Fprintln(w, "(paper: max normalized difference 37.6% on L2 miss rate, min 0.6% on L1D)")
 }

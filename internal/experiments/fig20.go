@@ -26,6 +26,8 @@ type Fig20Result struct {
 	// accurate; Total is the number of pairs.
 	WorseCount int
 	Total      int
+	// Pool is the per-scene job grid's worker-pool accounting.
+	Pool PoolStats
 }
 
 // Fig20 runs the regression-vs-direct comparison on every scene. The
@@ -45,35 +47,48 @@ func Fig20(s Settings, cfg config.Config, scenes []string) (*Fig20Result, error)
 		RegErr:    map[string]map[metrics.Metric]float64{},
 		DirectErr: map[string]map[metrics.Metric]float64{},
 	}
-	for _, sc := range scenes {
+	// One job per scene; each runs the three regression simulations and
+	// derives the direct baseline from its own 40% run.
+	type sceneErrs struct {
+		reg    map[metrics.Metric]float64
+		direct map[metrics.Metric]float64
+	}
+	rs, pool, err := gridMap(s, len(scenes), func(i int) (sceneErrs, error) {
+		sc := scenes[i]
 		ref, err := s.reference(cfg, sc)
 		if err != nil {
-			return nil, err
+			return sceneErrs{}, fmt.Errorf("fig20 %s reference: %w", sc, err)
 		}
 		opts := s.baseOptions(cfg, sc)
 		opts.NoDownscale = true
 		opts.Regression = true
 		res, err := core.Predict(opts)
 		if err != nil {
-			return nil, fmt.Errorf("fig20 %s: %w", sc, err)
+			return sceneErrs{}, fmt.Errorf("fig20 %s: %w", sc, err)
 		}
-		out.RegErr[sc] = res.Errors(ref)
 
 		// The direct baseline: linear extrapolation of the 40% run the
 		// regression already performed.
 		direct, err := combine.Linear(res.Groups[0].Report, res.Groups[0].Fraction)
 		if err != nil {
-			return nil, err
+			return sceneErrs{}, fmt.Errorf("fig20 %s direct: %w", sc, err)
 		}
 		derr := map[metrics.Metric]float64{}
 		for _, m := range metrics.All() {
 			derr[m] = metrics.AbsErr(direct[m], ref.Value(m))
 		}
-		out.DirectErr[sc] = derr
-
+		return sceneErrs{reg: res.Errors(ref), direct: derr}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out.Pool = pool
+	for i, sc := range scenes {
+		out.RegErr[sc] = rs[i].Value.reg
+		out.DirectErr[sc] = rs[i].Value.direct
 		for _, m := range metrics.All() {
 			out.Total++
-			if out.RegErr[sc][m] > derr[m]+1e-12 {
+			if out.RegErr[sc][m] > out.DirectErr[sc][m]+1e-12 {
 				out.WorseCount++
 			}
 		}
@@ -105,6 +120,7 @@ func (r *Fig20Result) Render(w io.Writer) {
 	}
 	fmt.Fprintf(w, "\nregression worse on %d/%d metric-scene pairs (%.0f%%)\n",
 		r.WorseCount, r.Total, 100*frac)
+	r.Pool.Render(w)
 	fmt.Fprintln(w, "(paper: 62% of metrics worse with regression on RTX 2060 — no clear advantage")
 	fmt.Fprintln(w, " while costing three simulator runs)")
 }

@@ -37,8 +37,12 @@ type SweepResult struct {
 	// Points is indexed [scene][percent position].
 	Points map[string][]SweepPoint
 	// FitA/FitB is the Eq. 4-style power fit speedup = A·perc^B derived
-	// from all measured speedups.
+	// from all measured speedups; FitErr records why the fit is
+	// unavailable when it failed.
 	FitA, FitB float64
+	FitErr     string
+	// Pool is the grid's worker-pool accounting (cpu vs wall time).
+	Pool PoolStats
 }
 
 // PercentSweep runs Zatel at {10..90}% of pixels without downscaling on
@@ -59,32 +63,53 @@ func PercentSweep(s Settings, cfg config.Config, scenes []string) (*SweepResult,
 		Percents: percents,
 		Points:   map[string][]SweepPoint{},
 	}
-	var xs, ys []float64
+	// References run serially up front: their recorded wall time feeds the
+	// speedup columns, so they must not time-slice against other jobs.
+	refs := make(map[string]metrics.Report, len(scenes))
 	for _, sc := range scenes {
 		ref, err := s.reference(cfg, sc)
 		if err != nil {
 			return nil, err
 		}
-		pts := make([]SweepPoint, 0, len(percents))
-		for _, p := range percents {
-			opts := s.baseOptions(cfg, sc)
-			opts.NoDownscale = true
-			opts.FixedFraction = float64(p) / 100
-			res, err := core.Predict(opts)
-			if err != nil {
-				return nil, fmt.Errorf("sweep %s@%d%%: %w", sc, p, err)
-			}
-			pt := SweepPoint{
-				Scene:   sc,
-				Percent: p,
-				Errors:  res.Errors(ref),
-				SimWall: res.PreprocessTime + res.SimWallTime,
-				RefWall: ref.WallTime,
-				Speedup: res.Speedup(ref),
-			}
-			pts = append(pts, pt)
+		refs[sc] = ref
+	}
+
+	// The (scene × percent) grid points are independent simulations —
+	// exactly the short concurrent runs the methodology amortizes — so
+	// they fan out on the worker pool in one flat grid.
+	np := len(percents)
+	rs, pool, err := gridMap(s, len(scenes)*np, func(i int) (SweepPoint, error) {
+		sc, p := scenes[i/np], percents[i%np]
+		opts := s.baseOptions(cfg, sc)
+		opts.NoDownscale = true
+		opts.FixedFraction = float64(p) / 100
+		res, err := core.Predict(opts)
+		if err != nil {
+			return SweepPoint{}, fmt.Errorf("sweep %s@%d%%: %w", sc, p, err)
+		}
+		ref := refs[sc]
+		return SweepPoint{
+			Scene:   sc,
+			Percent: p,
+			Errors:  res.Errors(ref),
+			SimWall: res.PreprocessTime + res.SimWallTime,
+			RefWall: ref.WallTime,
+			Speedup: res.Speedup(ref),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out.Pool = pool
+
+	var xs, ys []float64
+	for si, sc := range scenes {
+		pts := make([]SweepPoint, np)
+		for pi := range percents {
+			pt := rs[si*np+pi].Value
+			pts[pi] = pt
 			if pt.Speedup > 0 {
-				xs = append(xs, float64(p))
+				xs = append(xs, float64(pt.Percent))
 				ys = append(ys, pt.Speedup)
 			}
 		}
@@ -92,6 +117,9 @@ func PercentSweep(s Settings, cfg config.Config, scenes []string) (*SweepResult,
 	}
 	if a, b, err := extrapolate.PowerFit(xs, ys); err == nil {
 		out.FitA, out.FitB = a, b
+	} else {
+		// A failed fit must not masquerade as "0.0 * perc^0.00".
+		out.FitErr = err.Error()
 	}
 	return out, nil
 }
@@ -110,7 +138,9 @@ func (r *SweepResult) RenderFig14(w io.Writer) {
 	fmt.Fprintf(w, "Fig. 14 — Zatel running time per scene (%s, %dx%d)\n",
 		r.Config, r.Settings.Width, r.Settings.Height)
 	r.renderPerScene(w, func(pt SweepPoint) string { return fmtDur(pt.SimWall) })
-	fmt.Fprintln(w, "(paper: time grows linearly with % pixels; BATH is the longest-running scene)")
+	r.Pool.Render(w)
+	fmt.Fprintln(w, "(cells are per-run serial-equivalent times; the pool line shows the grid's")
+	fmt.Fprintln(w, " actual wall time; paper: time grows linearly with % pixels; BATH runs longest)")
 }
 
 // RenderFig15 prints the speedup per scene plus the Eq. 4 fit.
@@ -118,8 +148,13 @@ func (r *SweepResult) RenderFig15(w io.Writer) {
 	fmt.Fprintf(w, "Fig. 15 — running-time speedup per scene (%s, %dx%d)\n",
 		r.Config, r.Settings.Width, r.Settings.Height)
 	r.renderPerScene(w, func(pt SweepPoint) string { return fmt.Sprintf("%.1fx", pt.Speedup) })
-	fmt.Fprintf(w, "power fit: speedup(perc) = %.1f * perc^%.2f   (paper Eq. 4: 181 * perc^-1.15)\n",
-		r.FitA, r.FitB)
+	r.Pool.Render(w)
+	if r.FitErr != "" {
+		fmt.Fprintf(w, "power fit unavailable: %s   (paper Eq. 4: 181 * perc^-1.15)\n", r.FitErr)
+	} else {
+		fmt.Fprintf(w, "power fit: speedup(perc) = %.1f * perc^%.2f   (paper Eq. 4: 181 * perc^-1.15)\n",
+			r.FitA, r.FitB)
+	}
 	fmt.Fprintf(w, "Eq. 4 reference at 10/50/90%%: %.1fx / %.1fx / %.1fx\n",
 		extrapolate.SpeedupModel(10), extrapolate.SpeedupModel(50), extrapolate.SpeedupModel(90))
 }

@@ -57,6 +57,8 @@ type Table3Result struct {
 	// SceneMAE averages the best-cell errors per scene (the paper reports
 	// 21.0% SHIP, 13.9% WKND, 8.5% BUNNY).
 	SceneMAE map[string]float64
+	// Pool is the tuning grid's worker-pool accounting.
+	Pool PoolStats
 }
 
 // Table3 runs the tuning grid: 3 scenes × 3 distributions × 4 section
@@ -75,36 +77,61 @@ func Table3(s Settings, cfg config.Config, reps int) (*Table3Result, error) {
 		Best:     map[string]map[metrics.Metric]Table3Best{},
 		SceneMAE: map[string]float64{},
 	}
-	for _, sc := range Table3Scenes() {
+	// Warm the per-scene references serially, then fan the full
+	// (scene × distribution × section) grid out on the worker pool with
+	// the reps loop inside each job.
+	scenes, dists, sections := Table3Scenes(), Table3Dists(), Table3Sections()
+	refs := make(map[string]metrics.Report, len(scenes))
+	for _, sc := range scenes {
 		ref, err := s.reference(cfg, sc)
 		if err != nil {
 			return nil, err
 		}
+		refs[sc] = ref
+	}
+
+	nd, ns := len(dists), len(sections)
+	rs, pool, err := gridMap(s, len(scenes)*nd*ns, func(i int) (map[metrics.Metric]float64, error) {
+		sc := scenes[i/(nd*ns)]
+		dist := dists[(i/ns)%nd]
+		section := sections[i%ns]
+		sums := map[metrics.Metric]float64{}
+		for rep := 0; rep < reps; rep++ {
+			opts := s.baseOptions(cfg, sc)
+			opts.NoDownscale = true
+			opts.Division = core.CoarseGrained
+			opts.BlockW, opts.BlockH = 32, section
+			opts.Dist = dist
+			opts.FixedFraction = 0.03
+			opts.Seed = uint64(rep)*977 + 13
+			res, err := core.Predict(opts)
+			if err != nil {
+				return nil, fmt.Errorf("table3 %s/%s/32x%d: %w", sc, dist, section, err)
+			}
+			for m, e := range res.Errors(refs[sc]) {
+				sums[m] += e
+			}
+		}
+		for m := range sums {
+			sums[m] /= float64(reps)
+		}
+		return sums, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out.Pool = pool
+
+	for si, sc := range scenes {
 		out.Cells[sc] = map[metrics.Metric][]Table3Cell{}
-		for _, dist := range Table3Dists() {
-			for _, section := range Table3Sections() {
-				sums := map[metrics.Metric]float64{}
-				for rep := 0; rep < reps; rep++ {
-					opts := s.baseOptions(cfg, sc)
-					opts.NoDownscale = true
-					opts.Division = core.CoarseGrained
-					opts.BlockW, opts.BlockH = 32, section
-					opts.Dist = dist
-					opts.FixedFraction = 0.03
-					opts.Seed = uint64(rep)*977 + 13
-					res, err := core.Predict(opts)
-					if err != nil {
-						return nil, fmt.Errorf("table3 %s/%s/32x%d: %w", sc, dist, section, err)
-					}
-					for m, e := range res.Errors(ref) {
-						sums[m] += e
-					}
-				}
+		for di, dist := range dists {
+			for seci, section := range sections {
+				avg := rs[si*nd*ns+di*ns+seci].Value
 				for _, m := range metrics.All() {
 					out.Cells[sc][m] = append(out.Cells[sc][m], Table3Cell{
 						Dist:    dist,
 						Section: section,
-						Err:     sums[m] / float64(reps),
+						Err:     avg[m],
 					})
 				}
 			}
@@ -168,6 +195,8 @@ func (r *Table3Result) Render(w io.Writer) {
 			fmt.Fprintf(w, "%-22s%12s%14s%10s\n", m, b.BestDist, b.BestSection, pct(b.MAE))
 		}
 	}
-	fmt.Fprintln(w, "\n(paper: scene MAEs 21.0% SHIP / 13.9% WKND / 8.5% BUNNY — warmer scenes predict better;")
+	fmt.Fprintln(w)
+	r.Pool.Render(w)
+	fmt.Fprintln(w, "(paper: scene MAEs 21.0% SHIP / 13.9% WKND / 8.5% BUNNY — warmer scenes predict better;")
 	fmt.Fprintln(w, " most cells are \"any\"; uniform wins where it matters; exptmp favours RT metrics)")
 }

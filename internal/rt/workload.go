@@ -2,7 +2,9 @@ package rt
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"zatel/internal/bvh"
 	"zatel/internal/scene"
@@ -63,7 +65,10 @@ func BuildWorkload(s *scene.Scene, width, height, spp int) (*Workload, error) {
 
 	var wg sync.WaitGroup
 	rows := make(chan int)
-	workers := 8
+	workers := runtime.GOMAXPROCS(0)
+	if workers > height {
+		workers = height
+	}
 	for g := 0; g < workers; g++ {
 		wg.Add(1)
 		go func() {
@@ -202,23 +207,65 @@ type workloadKey struct {
 
 var workloadCache sync.Map // workloadKey -> *Workload
 
+// inflightBuild is a singleflight slot: the first caller for a key builds,
+// everyone else waits on done and reads the shared outcome.
+type inflightBuild struct {
+	done chan struct{}
+	w    *Workload
+	err  error
+}
+
+var (
+	inflightMu sync.Mutex
+	inflight   = map[workloadKey]*inflightBuild{}
+	// buildCount tallies actual BuildWorkload executions through the cache;
+	// tests use it to prove concurrent callers share one build.
+	buildCount atomic.Int64
+)
+
 // CachedWorkload returns the workload for a library scene, building and
 // memoising it on first use. Experiments re-trace the same frames dozens of
 // times; the cache makes the functional trace a one-time cost, mirroring how
 // Zatel profiles a scene once and reuses the result.
+//
+// The build itself is deduplicated singleflight-style: concurrent callers
+// for the same key share one BuildWorkload execution instead of each paying
+// the full path-trace cost. Failed builds are not cached, so a later call
+// retries.
 func CachedWorkload(name string, width, height, spp int) (*Workload, error) {
 	key := workloadKey{scene: name, w: width, h: height, spp: spp}
 	if v, ok := workloadCache.Load(key); ok {
 		return v.(*Workload), nil
 	}
-	s, err := scene.ByName(name)
-	if err != nil {
-		return nil, err
+
+	inflightMu.Lock()
+	// Re-check under the lock: a builder may have finished between the
+	// lock-free lookup and here.
+	if v, ok := workloadCache.Load(key); ok {
+		inflightMu.Unlock()
+		return v.(*Workload), nil
 	}
-	w, err := BuildWorkload(s, width, height, spp)
-	if err != nil {
-		return nil, err
+	if f, ok := inflight[key]; ok {
+		inflightMu.Unlock()
+		<-f.done
+		return f.w, f.err
 	}
-	actual, _ := workloadCache.LoadOrStore(key, w)
-	return actual.(*Workload), nil
+	f := &inflightBuild{done: make(chan struct{})}
+	inflight[key] = f
+	inflightMu.Unlock()
+
+	buildCount.Add(1)
+	if s, err := scene.ByName(name); err != nil {
+		f.err = err
+	} else {
+		f.w, f.err = BuildWorkload(s, width, height, spp)
+	}
+	if f.err == nil {
+		workloadCache.Store(key, f.w)
+	}
+	inflightMu.Lock()
+	delete(inflight, key)
+	inflightMu.Unlock()
+	close(f.done)
+	return f.w, f.err
 }

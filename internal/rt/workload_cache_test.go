@@ -1,0 +1,65 @@
+package rt
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestCachedWorkloadSingleflight proves that under 8-way concurrency at
+// most one BuildWorkload executes per workload key: everyone else waits on
+// the in-flight build and shares its result.
+func TestCachedWorkloadSingleflight(t *testing.T) {
+	// Unusual dimensions so no other test shares this cache key.
+	const w, h, spp = 37, 23, 1
+	before := buildCount.Load()
+
+	const callers = 8
+	var wg sync.WaitGroup
+	got := make([]*Workload, callers)
+	errs := make([]error, callers)
+	start := make(chan struct{})
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			got[i], errs[i] = CachedWorkload("SPRNG", w, h, spp)
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+
+	for i := 0; i < callers; i++ {
+		if errs[i] != nil {
+			t.Fatalf("caller %d: %v", i, errs[i])
+		}
+		if got[i] == nil || got[i] != got[0] {
+			t.Errorf("caller %d got a different workload pointer", i)
+		}
+	}
+	if builds := buildCount.Load() - before; builds != 1 {
+		t.Errorf("%d builds executed under concurrency, want exactly 1", builds)
+	}
+
+	// A later call hits the memoised value without building again.
+	again, err := CachedWorkload("SPRNG", w, h, spp)
+	if err != nil || again != got[0] {
+		t.Errorf("warm call: %v, same pointer %v", err, again == got[0])
+	}
+	if builds := buildCount.Load() - before; builds != 1 {
+		t.Errorf("warm call rebuilt: %d builds total", builds)
+	}
+}
+
+// TestCachedWorkloadErrorNotCached checks that a failed build is retried
+// (and keeps failing) instead of poisoning the cache.
+func TestCachedWorkloadErrorNotCached(t *testing.T) {
+	for i := 0; i < 2; i++ {
+		if _, err := CachedWorkload("NO-SUCH-SCENE", 8, 8, 1); err == nil {
+			t.Fatalf("call %d: unknown scene accepted", i)
+		}
+	}
+	if _, err := CachedWorkload("SPRNG", 0, 8, 1); err == nil {
+		t.Fatal("invalid dimensions accepted")
+	}
+}

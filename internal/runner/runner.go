@@ -1,0 +1,168 @@
+// Package runner provides the bounded worker-pool job scheduler every
+// concurrent part of the repository runs on: core.Predict's per-group
+// simulator fan-out and the experiment grid drivers all submit their
+// independent jobs here instead of hand-rolling sync.WaitGroup loops.
+//
+// Zatel's methodology (Section III-F) assumes K downscaled simulator
+// instances occupy K CPU cores concurrently; the experiment suite likewise
+// amortises many short independent (scene × parameter) runs. The pool makes
+// that concurrency uniform and observable:
+//
+//   - bounded: at most Workers jobs run at once (default GOMAXPROCS),
+//   - deterministic: results are returned in submission order, so output
+//     bytes never depend on scheduling,
+//   - accounted: every job records queue wait and execution wall time,
+//   - fail-soft: one failing job does not abort the grid — all errors are
+//     collected and returned aggregated, alongside every completed result,
+//   - cancellable: a context cancels jobs that have not started.
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Result records one job's outcome and timing.
+type Result[T any] struct {
+	// Index is the job's submission index; Map returns results sorted by it.
+	Index int
+	// Value is fn's return value (zero when Err != nil).
+	Value T
+	// Err is the job's error, the recovered panic, or the context error for
+	// jobs cancelled before they started.
+	Err error
+	// QueueTime is how long the job waited between submission and the
+	// moment a worker picked it up.
+	QueueTime time.Duration
+	// WallTime is the job's execution time (zero for cancelled jobs).
+	WallTime time.Duration
+}
+
+// JobError ties a failed job's index to its cause; Map aggregates these
+// with errors.Join so callers can both print everything and errors.As their
+// way back to individual indices.
+type JobError struct {
+	Index int
+	Err   error
+}
+
+// Error implements error.
+func (e *JobError) Error() string { return fmt.Sprintf("job %d: %v", e.Index, e.Err) }
+
+// Unwrap exposes the underlying cause.
+func (e *JobError) Unwrap() error { return e.Err }
+
+// PoolSize resolves a requested worker count: values <= 0 select
+// runtime.GOMAXPROCS(0), the paper's one-instance-per-core deployment.
+func PoolSize(workers int) int {
+	if workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return workers
+}
+
+// Map runs fn(ctx, i) for every i in [0, n) on a pool of at most
+// PoolSize(workers) goroutines and returns the n results in submission
+// order. It always returns the full result slice; the returned error is the
+// errors.Join aggregation of every per-job failure (nil when all jobs
+// succeeded). Cancelling ctx stops unstarted jobs, which complete with
+// ctx's error; jobs already running are expected to honour ctx themselves.
+// A panicking job is captured as that job's error rather than crashing the
+// pool.
+func Map[T any](ctx context.Context, n, workers int, fn func(ctx context.Context, index int) (T, error)) ([]Result[T], error) {
+	if n < 0 {
+		return nil, fmt.Errorf("runner: negative job count %d", n)
+	}
+	if fn == nil {
+		return nil, errors.New("runner: nil job function")
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	results := make([]Result[T], n)
+	for i := range results {
+		results[i].Index = i
+	}
+	if n == 0 {
+		return results, nil
+	}
+
+	workers = PoolSize(workers)
+	if workers > n {
+		workers = n
+	}
+
+	submitted := time.Now()
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				r := &results[i]
+				r.QueueTime = time.Since(submitted)
+				if err := ctx.Err(); err != nil {
+					r.Err = err
+					continue
+				}
+				start := time.Now()
+				r.Value, r.Err = runJob(ctx, i, fn)
+				r.WallTime = time.Since(start)
+			}
+		}()
+	}
+
+feed:
+	for i := 0; i < n; i++ {
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+			// Everything not yet handed to a worker is cancelled; the
+			// workers themselves mark the jobs they already hold.
+			for j := i; j < n; j++ {
+				results[j].Err = ctx.Err()
+			}
+			break feed
+		}
+	}
+	close(jobs)
+	wg.Wait()
+
+	var errs []error
+	for i := range results {
+		if results[i].Err != nil {
+			errs = append(errs, &JobError{Index: i, Err: results[i].Err})
+		}
+	}
+	return results, errors.Join(errs...)
+}
+
+// runJob invokes fn with panic capture so one bad job cannot take down the
+// whole pool (fail-soft, like any other job error).
+func runJob[T any](ctx context.Context, i int, fn func(context.Context, int) (T, error)) (v T, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("runner: job %d panicked: %v", i, r)
+		}
+	}()
+	return fn(ctx, i)
+}
+
+// Totals sums the per-job execution times and reports the slowest single
+// job — the two numbers behind the serial-vs-parallel wall-time semantics:
+// cpu is what a serial execution would cost, slowest is the wall-time floor
+// of a perfectly parallel one.
+func Totals[T any](rs []Result[T]) (cpu, slowest time.Duration) {
+	for i := range rs {
+		cpu += rs[i].WallTime
+		if rs[i].WallTime > slowest {
+			slowest = rs[i].WallTime
+		}
+	}
+	return cpu, slowest
+}

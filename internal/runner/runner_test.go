@@ -1,0 +1,202 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestMapOrderingDeterminism(t *testing.T) {
+	// Jobs finish in scrambled order (later jobs sleep less), but results
+	// must come back in submission order with the right values.
+	const n = 32
+	rs, err := Map(context.Background(), n, 4, func(_ context.Context, i int) (int, error) {
+		time.Sleep(time.Duration(n-i) * 100 * time.Microsecond)
+		return i * i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != n {
+		t.Fatalf("%d results, want %d", len(rs), n)
+	}
+	for i, r := range rs {
+		if r.Index != i || r.Value != i*i {
+			t.Errorf("result %d: index %d value %d", i, r.Index, r.Value)
+		}
+		if r.WallTime <= 0 {
+			t.Errorf("result %d: no wall time recorded", i)
+		}
+		if r.QueueTime < 0 {
+			t.Errorf("result %d: negative queue time", i)
+		}
+	}
+}
+
+func TestMapBoundedConcurrency(t *testing.T) {
+	// A high-water-mark counter must never observe more than the requested
+	// worker bound in flight at once.
+	const workers = 3
+	var inFlight, highWater atomic.Int64
+	rs, err := Map(context.Background(), 24, workers, func(_ context.Context, i int) (struct{}, error) {
+		cur := inFlight.Add(1)
+		for {
+			hw := highWater.Load()
+			if cur <= hw || highWater.CompareAndSwap(hw, cur) {
+				break
+			}
+		}
+		time.Sleep(2 * time.Millisecond)
+		inFlight.Add(-1)
+		return struct{}{}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 24 {
+		t.Fatalf("%d results", len(rs))
+	}
+	if hw := highWater.Load(); hw > workers {
+		t.Errorf("high-water mark %d exceeds %d workers", hw, workers)
+	}
+	if hw := highWater.Load(); hw < 1 {
+		t.Errorf("high-water mark %d, nothing ran?", hw)
+	}
+}
+
+func TestMapErrorAggregation(t *testing.T) {
+	// Failures must not abort the grid: every job still runs, and the
+	// aggregate error names each failing index.
+	boom := errors.New("boom")
+	var ran atomic.Int64
+	rs, err := Map(context.Background(), 10, 2, func(_ context.Context, i int) (int, error) {
+		ran.Add(1)
+		if i%3 == 0 {
+			return 0, fmt.Errorf("job-%d: %w", i, boom)
+		}
+		return i, nil
+	})
+	if ran.Load() != 10 {
+		t.Errorf("only %d jobs ran, want all 10 despite failures", ran.Load())
+	}
+	if err == nil {
+		t.Fatal("aggregate error is nil with 4 failing jobs")
+	}
+	if !errors.Is(err, boom) {
+		t.Error("aggregate error does not wrap the job cause")
+	}
+	var je *JobError
+	if !errors.As(err, &je) {
+		t.Fatal("aggregate error contains no *JobError")
+	}
+	for i, r := range rs {
+		if i%3 == 0 {
+			if r.Err == nil {
+				t.Errorf("job %d should have failed", i)
+			}
+		} else if r.Err != nil || r.Value != i {
+			t.Errorf("job %d: value %d err %v", i, r.Value, r.Err)
+		}
+	}
+}
+
+func TestMapCancellation(t *testing.T) {
+	// Cancelling mid-grid stops unstarted jobs; the cancelled jobs carry
+	// the context error and the started ones their real results.
+	// Both workers must start a job before the cancel fires, or they would
+	// block on release forever.
+	ctx, cancel := context.WithCancel(context.Background())
+	var started atomic.Int64
+	release := make(chan struct{})
+	var once sync.Once
+	rs, err := Map(ctx, 50, 2, func(ctx context.Context, i int) (int, error) {
+		if started.Add(1) >= 2 {
+			once.Do(func() { cancel(); close(release) })
+		}
+		<-release
+		return i, nil
+	})
+	if err == nil {
+		t.Fatal("no aggregate error after cancellation")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("aggregate error %v does not wrap context.Canceled", err)
+	}
+	if n := started.Load(); n >= 50 {
+		t.Errorf("all %d jobs started despite cancellation", n)
+	}
+	cancelled := 0
+	for _, r := range rs {
+		if errors.Is(r.Err, context.Canceled) {
+			cancelled++
+			if r.WallTime != 0 {
+				t.Errorf("cancelled job %d has wall time %v", r.Index, r.WallTime)
+			}
+		}
+	}
+	if cancelled == 0 {
+		t.Error("no job recorded the cancellation")
+	}
+}
+
+func TestMapPanicIsFailSoft(t *testing.T) {
+	rs, err := Map(context.Background(), 4, 2, func(_ context.Context, i int) (int, error) {
+		if i == 1 {
+			panic("kaboom")
+		}
+		return i, nil
+	})
+	if err == nil {
+		t.Fatal("panic not surfaced as error")
+	}
+	if rs[1].Err == nil {
+		t.Error("panicking job has nil error")
+	}
+	for _, i := range []int{0, 2, 3} {
+		if rs[i].Err != nil {
+			t.Errorf("job %d failed: %v", i, rs[i].Err)
+		}
+	}
+}
+
+func TestMapEdgeCases(t *testing.T) {
+	rs, err := Map(context.Background(), 0, 4, func(_ context.Context, i int) (int, error) { return i, nil })
+	if err != nil || len(rs) != 0 {
+		t.Errorf("empty grid: %v, %d results", err, len(rs))
+	}
+	if _, err := Map(context.Background(), -1, 1, func(_ context.Context, i int) (int, error) { return i, nil }); err == nil {
+		t.Error("negative job count accepted")
+	}
+	if _, err := Map[int](context.Background(), 1, 1, nil); err == nil {
+		t.Error("nil fn accepted")
+	}
+}
+
+func TestPoolSize(t *testing.T) {
+	if got := PoolSize(0); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("PoolSize(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := PoolSize(-3); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("PoolSize(-3) = %d", got)
+	}
+	if got := PoolSize(7); got != 7 {
+		t.Errorf("PoolSize(7) = %d", got)
+	}
+}
+
+func TestTotals(t *testing.T) {
+	rs := []Result[int]{
+		{WallTime: 2 * time.Second},
+		{WallTime: 5 * time.Second},
+		{WallTime: 1 * time.Second},
+	}
+	cpu, slowest := Totals(rs)
+	if cpu != 8*time.Second || slowest != 5*time.Second {
+		t.Errorf("Totals = %v, %v", cpu, slowest)
+	}
+}

@@ -30,6 +30,10 @@ const (
 	ExpTmp
 )
 
+// Valid reports whether d names one of the three Section III-E
+// distributions; option validation uses it before any expensive work runs.
+func (d Distribution) Valid() bool { return d <= ExpTmp }
+
 // String implements fmt.Stringer.
 func (d Distribution) String() string {
 	switch d {
