@@ -7,4 +7,11 @@ cd "$(dirname "$0")"
 
 go vet ./...
 go build ./...
-go test -race ./...
+go test -race -timeout 10m ./...
+
+# Short-mode fault-injection soak: retries, deadlines, quorum degradation
+# and the injector itself under the race detector (see DESIGN.md "Failure
+# semantics").
+go test -race -short -timeout 5m \
+	-run 'Fault|Inject|Degraded|Quorum|Retr|Policy|Straggl|Backoff' \
+	./internal/faults/ ./internal/runner/ ./internal/core/ ./internal/experiments/

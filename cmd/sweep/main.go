@@ -8,16 +8,26 @@
 //
 // Experiments: fig10 fig11 table3 fig13 fig14 fig15 fig16 fig17 fig18
 // fig19 fig20 all
+//
+// Fault-injection flags (-inject-*) soak the experiment grids: failed
+// cells render as ERR, degraded predictions are marked †, and SIGINT
+// prints the partial tables before exiting 130.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
 	"zatel/internal/config"
+	"zatel/internal/core"
 	"zatel/internal/experiments"
+	"zatel/internal/faults"
 	"zatel/internal/scene"
 )
 
@@ -28,13 +38,45 @@ func main() {
 		cfgName = flag.String("config", "rtx2060", "config for per-config sweeps (mobile or rtx2060)")
 		reps    = flag.Int("reps", 5, "random-selection repetitions for table3")
 		workers = flag.Int("workers", 0, "experiment-grid worker pool size (0 = one per CPU core, 1 = serial)")
+
+		attempts   = flag.Int("attempts", 1, "max attempts per group instance (retries on failure)")
+		backoff    = flag.Duration("retry-backoff", 0, "base backoff between attempts (doubles, seeded jitter)")
+		jobTimeout = flag.Duration("job-timeout", 0, "per-attempt deadline for a group instance (0 = none)")
+		quorum     = flag.Int("quorum", 0, "surviving groups needed for a degraded prediction (0 = ceil(K/2), <0 = all)")
+
+		injErrors   = flag.Float64("inject-errors", 0, "fault injection: per-attempt error probability in [0,1]")
+		injPanics   = flag.Float64("inject-panics", 0, "fault injection: per-attempt panic probability in [0,1]")
+		injStraggle = flag.Float64("inject-straggle", 0, "fault injection: per-attempt straggler probability in [0,1]")
+		injMean     = flag.Duration("inject-straggle-mean", 50*time.Millisecond, "fault injection: mean straggler delay")
+		injSeed     = flag.Uint64("inject-seed", 1, "fault injection: decision seed")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
 		usage()
 	}
 
-	settings := experiments.Settings{Width: *res, Height: *res, SPP: *spp, Workers: *workers}
+	// SIGINT/SIGTERM cancel the grids; already-collected cells still render
+	// (cancelled ones as ERR) before we exit 130.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	settings := experiments.Settings{
+		Width: *res, Height: *res, SPP: *spp, Workers: *workers,
+		Ctx: ctx,
+		FT: core.FaultTolerance{
+			Attempts: *attempts,
+			Backoff:  *backoff,
+			Timeout:  *jobTimeout,
+			Quorum:   *quorum,
+			Inject: faults.Config{
+				ErrorRate:     *injErrors,
+				PanicRate:     *injPanics,
+				StragglerRate: *injStraggle,
+				StragglerMean: *injMean,
+				Seed:          *injSeed,
+			},
+		},
+	}
 	cfg, err := configByName(*cfgName)
 	if err != nil {
 		fatal(err)
@@ -46,6 +88,10 @@ func main() {
 			fatal(fmt.Errorf("%s: %w", name, err))
 		}
 		fmt.Println()
+		if ctx.Err() != nil {
+			fmt.Fprintln(os.Stderr, "sweep: interrupted — partial results above")
+			os.Exit(130)
+		}
 	}
 	if which == "all" {
 		for _, name := range []string{"fig10", "fig11", "table3", "fig13", "fig14",

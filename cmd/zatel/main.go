@@ -6,16 +6,23 @@
 //	zatel -scene PARK -config mobile -res 128 -spp 2 -compare
 //	zatel -scene PARK -maxpercent 0.1           # the paper's 50x variant
 //	zatel -scene BATH -division coarse -dist exptmp -percent 0.4
+//	zatel -scene PARK -inject-errors 0.3 -attempts 3   # fault-injection soak
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
 	"zatel/internal/config"
 	"zatel/internal/core"
+	"zatel/internal/faults"
 	"zatel/internal/metrics"
 	"zatel/internal/sampling"
 	"zatel/internal/scene"
@@ -38,6 +45,17 @@ func main() {
 		seed       = flag.Uint64("seed", 1, "selection randomness seed")
 		parallel   = flag.Bool("parallel", false, "run the K group instances on the worker pool")
 		workers    = flag.Int("workers", 0, "pool size with -parallel (0 = one per CPU core)")
+
+		attempts   = flag.Int("attempts", 1, "max attempts per group instance (retries on failure)")
+		backoff    = flag.Duration("retry-backoff", 0, "base backoff between attempts (doubles, seeded jitter)")
+		jobTimeout = flag.Duration("job-timeout", 0, "per-attempt deadline for a group instance (0 = none)")
+		quorum     = flag.Int("quorum", 0, "surviving groups needed for a degraded prediction (0 = ceil(K/2), <0 = all)")
+
+		injErrors   = flag.Float64("inject-errors", 0, "fault injection: per-attempt error probability in [0,1]")
+		injPanics   = flag.Float64("inject-panics", 0, "fault injection: per-attempt panic probability in [0,1]")
+		injStraggle = flag.Float64("inject-straggle", 0, "fault injection: per-attempt straggler probability in [0,1]")
+		injMean     = flag.Duration("inject-straggle-mean", 50*time.Millisecond, "fault injection: mean straggler delay")
+		injSeed     = flag.Uint64("inject-seed", 1, "fault injection: decision seed")
 	)
 	flag.Parse()
 
@@ -57,6 +75,19 @@ func main() {
 		Seed:          *seed,
 		Parallel:      *parallel,
 		Workers:       *workers,
+		FT: core.FaultTolerance{
+			Attempts: *attempts,
+			Backoff:  *backoff,
+			Timeout:  *jobTimeout,
+			Quorum:   *quorum,
+			Inject: faults.Config{
+				ErrorRate:     *injErrors,
+				PanicRate:     *injPanics,
+				StragglerRate: *injStraggle,
+				StragglerMean: *injMean,
+				Seed:          *injSeed,
+			},
+		},
 	}
 	switch strings.ToLower(*division) {
 	case "fine":
@@ -77,17 +108,37 @@ func main() {
 		fatal(fmt.Errorf("unknown distribution %q", *dist))
 	}
 
-	result, err := core.Predict(opts)
+	// SIGINT/SIGTERM cancel the prediction: the pool drains its running
+	// jobs, unstarted groups are skipped, and we exit 130.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	result, err := core.PredictContext(ctx, opts)
 	if err != nil {
+		if ctx.Err() != nil || errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "zatel: interrupted")
+			os.Exit(130)
+		}
 		fatal(err)
 	}
 
 	fmt.Printf("zatel: %s on %s (%dx%d, %d spp), K=%d, %s division, %s distribution\n",
 		*sceneName, cfg.Name, *res, *res, *spp, result.K, opts.Division, opts.Dist)
 	for gi, g := range result.Groups {
-		fmt.Printf("  group %d: %d/%d pixels traced (%.1f%%), %d cycles, %s (queued %s)\n",
+		if g.Err != nil {
+			fmt.Printf("  group %d: FAILED after %d attempt(s): %v\n", gi, g.Attempts, g.Err)
+			continue
+		}
+		retries := ""
+		if g.Attempts > 1 {
+			retries = fmt.Sprintf(", %d attempts", g.Attempts)
+		}
+		fmt.Printf("  group %d: %d/%d pixels traced (%.1f%%), %d cycles, %s (queued %s%s)\n",
 			gi, g.Selected, g.Pixels, 100*g.Fraction, g.Report.Cycles,
-			g.WallTime.Round(1e6), g.QueueTime.Round(1e6))
+			g.WallTime.Round(1e6), g.QueueTime.Round(1e6), retries)
+	}
+	if d := result.Degraded; d != nil {
+		fmt.Printf("  %s\n", d)
 	}
 	fmt.Printf("preprocess %s, simulation wall %s (slowest instance), cpu %s (all instances)\n\n",
 		result.PreprocessTime.Round(1e6), result.SimWallTime.Round(1e6),
@@ -109,6 +160,9 @@ func main() {
 	fmt.Printf("%-22s%16s%16s%12s\n", "Metric", "Predicted", "FullSim", "AbsErr")
 	for _, m := range metrics.All() {
 		fmt.Printf("%-22s%16.4f%16.4f%11.1f%%\n", m, result.Predicted[m], ref.Value(m), 100*errs[m])
+	}
+	if result.Degraded != nil {
+		fmt.Printf("(errors measured against a degraded prediction: %s)\n", result.Degraded)
 	}
 	fmt.Printf("\nMAE %.1f%%   speedup %.1fx (full sim %s vs zatel %s)\n",
 		100*metrics.MAE(errs, metrics.All()), result.Speedup(ref),

@@ -96,7 +96,9 @@ func Build(s *scene.Scene, opt Options) (*BVH, error) {
 	}
 	// Pre-size the node pool: a BVH2 over n leaves has at most 2n-1 nodes.
 	b.nodes = make([]Node, 0, 2*n)
-	b.buildRange(0, n)
+	if _, err := b.buildRange(0, n); err != nil {
+		return nil, fmt.Errorf("bvh: building %s: %w", s.Name, err)
+	}
 	return &BVH{Nodes: b.nodes, TriIndex: b.triIndex, Tris: s.Tris}, nil
 }
 
@@ -110,8 +112,11 @@ type builder struct {
 }
 
 // buildRange emits the subtree covering triIndex[lo:hi] and returns its
-// node index.
-func (b *builder) buildRange(lo, hi int) int32 {
+// node index. It errors instead of panicking when the flat-layout
+// invariant (left child contiguous with its parent) is violated, so a
+// corrupted build surfaces through the workload pipeline rather than
+// killing a worker-pool job.
+func (b *builder) buildRange(lo, hi int) (int32, error) {
 	idx := int32(len(b.nodes))
 	b.nodes = append(b.nodes, Node{Right: -1})
 
@@ -126,7 +131,7 @@ func (b *builder) buildRange(lo, hi int) int32 {
 	count := hi - lo
 	if count <= b.opt.MaxLeafSize {
 		b.makeLeaf(idx, lo, hi)
-		return idx
+		return idx, nil
 	}
 
 	axis, split := b.chooseSplit(lo, hi, cb)
@@ -138,18 +143,24 @@ func (b *builder) buildRange(lo, hi int) int32 {
 		split = lo + count/2
 		if split <= lo || split >= hi {
 			b.makeLeaf(idx, lo, hi)
-			return idx
+			return idx, nil
 		}
 	}
 
 	// The left child always follows the parent contiguously.
-	left := b.buildRange(lo, split)
-	right := b.buildRange(split, hi)
+	left, err := b.buildRange(lo, split)
+	if err != nil {
+		return 0, err
+	}
 	if left != idx+1 {
-		panic("bvh: left child not contiguous")
+		return 0, fmt.Errorf("left child %d of node %d not contiguous", left, idx)
+	}
+	right, err := b.buildRange(split, hi)
+	if err != nil {
+		return 0, err
 	}
 	b.nodes[idx].Right = right
-	return idx
+	return idx, nil
 }
 
 func (b *builder) makeLeaf(idx int32, lo, hi int) {

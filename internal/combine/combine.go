@@ -36,6 +36,29 @@ func Linear(rep metrics.Report, fraction float64) (GroupValues, error) {
 	return out, nil
 }
 
+// MergeDegraded combines the surviving subset of an originally
+// total-group prediction. Rate and time metrics average over the
+// survivors exactly as in Merge — the groups are load-balanced samples of
+// the same homogeneous workload, so a surviving subset still estimates
+// them soundly (the stratified-sampling argument: estimates from the
+// surviving strata remain unbiased). Throughput (IPC) sums across
+// concurrent groups, so the survivors' sum is re-weighted by
+// total/len(groups) to stand in for the missing groups' contribution.
+// With total == len(groups) this is exactly Merge.
+func MergeDegraded(groups []GroupValues, total int) (GroupValues, error) {
+	if total < len(groups) {
+		return nil, fmt.Errorf("combine: %d surviving groups exceed total %d", len(groups), total)
+	}
+	out, err := Merge(groups)
+	if err != nil {
+		return nil, err
+	}
+	if total > len(groups) {
+		out[metrics.IPC] *= float64(total) / float64(len(groups))
+	}
+	return out, nil
+}
+
 // Merge combines per-group values into the final prediction.
 func Merge(groups []GroupValues) (GroupValues, error) {
 	if len(groups) == 0 {

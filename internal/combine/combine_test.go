@@ -91,6 +91,65 @@ func TestMergeValidation(t *testing.T) {
 	}
 }
 
+func TestMergeDegradedReweightsIPC(t *testing.T) {
+	// Two survivors of an original four: IPC doubles to stand in for the
+	// lost groups; rate/time metrics stay the survivors' average.
+	g1, g2 := GroupValues{}, GroupValues{}
+	for _, m := range metrics.All() {
+		g1[m], g2[m] = 0, 0
+	}
+	g1[metrics.IPC], g2[metrics.IPC] = 20, 50
+	g1[metrics.L1DMissRate], g2[metrics.L1DMissRate] = 0.70, 0.60
+	g1[metrics.SimCycles], g2[metrics.SimCycles] = 1000, 3000
+
+	out, err := MergeDegraded([]GroupValues{g1, g2}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[metrics.IPC] != 140 {
+		t.Errorf("degraded IPC = %v, want (20+50)*4/2 = 140", out[metrics.IPC])
+	}
+	if math.Abs(out[metrics.L1DMissRate]-0.65) > 1e-12 {
+		t.Errorf("degraded miss rate = %v, want survivors' mean 0.65", out[metrics.L1DMissRate])
+	}
+	if out[metrics.SimCycles] != 2000 {
+		t.Errorf("degraded cycles = %v, want survivors' mean 2000", out[metrics.SimCycles])
+	}
+}
+
+func TestMergeDegradedFullSetIsMerge(t *testing.T) {
+	g1, g2 := GroupValues{}, GroupValues{}
+	for _, m := range metrics.All() {
+		g1[m], g2[m] = 1, 3
+	}
+	want, err := Merge([]GroupValues{g1, g2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := MergeDegraded([]GroupValues{g1, g2}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range metrics.All() {
+		if got[m] != want[m] {
+			t.Errorf("%s: degraded %v != merge %v with zero groups missing", m, got[m], want[m])
+		}
+	}
+}
+
+func TestMergeDegradedValidation(t *testing.T) {
+	g := GroupValues{}
+	for _, m := range metrics.All() {
+		g[m] = 1
+	}
+	if _, err := MergeDegraded([]GroupValues{g, g}, 1); err == nil {
+		t.Error("more survivors than total accepted")
+	}
+	if _, err := MergeDegraded(nil, 4); err == nil {
+		t.Error("zero survivors accepted")
+	}
+}
+
 func TestSingleGroupIsIdentity(t *testing.T) {
 	vals, err := Linear(groupReport(500, 1000), 1)
 	if err != nil {

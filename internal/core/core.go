@@ -18,6 +18,7 @@ import (
 	"zatel/internal/combine"
 	"zatel/internal/config"
 	"zatel/internal/extrapolate"
+	"zatel/internal/faults"
 	"zatel/internal/gpu"
 	"zatel/internal/heatmap"
 	"zatel/internal/metrics"
@@ -103,6 +104,74 @@ type Options struct {
 	Workers int
 	// Seed roots block-selection randomness (default 1).
 	Seed uint64
+	// FT configures the step-6 fan-out's fault tolerance: per-group
+	// retries, deadlines, the degradation quorum and fault injection. The
+	// zero value runs each group once and degrades at quorum ceil(K/2).
+	FT FaultTolerance
+}
+
+// FaultTolerance bundles the resilience knobs of the group fan-out. A
+// failed or hung group instance no longer kills the whole prediction:
+// groups retry with exponential backoff under per-attempt deadlines, and
+// when a group exhausts its retries the prediction continues from the
+// surviving groups as long as a quorum of them remains.
+type FaultTolerance struct {
+	// Attempts is the total number of times a failing group instance may
+	// run (values <= 1 mean no retries).
+	Attempts int
+	// Backoff is the base wait before a group's second attempt; it doubles
+	// per further attempt with seeded jitter (see runner.Policy).
+	Backoff time.Duration
+	// Timeout is the per-attempt deadline for one group instance (0 =
+	// none).
+	Timeout time.Duration
+	// Quorum is the minimum number of surviving groups required to emit a
+	// (possibly degraded) prediction: 0 selects the default ceil(K/2),
+	// values above K clamp to K, and negative values demand every group
+	// succeed (strict mode — any group failure is an error, the pre-fault-
+	// tolerance behaviour).
+	Quorum int
+	// Inject configures the deterministic fault injector applied to every
+	// group instance (zero = disabled); used by soak tests and the
+	// -inject-* CLI flags.
+	Inject faults.Config
+}
+
+// quorumFor resolves the configured quorum against the actual group count.
+func (ft FaultTolerance) quorumFor(total int) int {
+	switch {
+	case ft.Quorum < 0, ft.Quorum > total:
+		return total
+	case ft.Quorum == 0:
+		return (total + 1) / 2
+	default:
+		return ft.Quorum
+	}
+}
+
+// Degradation reports a prediction that lost groups to failures but met
+// quorum: which groups failed, why, after how many attempts, and what the
+// surviving merge was re-weighted against.
+type Degradation struct {
+	// FailedGroups lists the indices of groups whose instances exhausted
+	// their retries, in index order.
+	FailedGroups []int
+	// GroupErrors maps each failed group index to its final error.
+	GroupErrors map[int]error
+	// Attempts maps each failed group index to the attempts it consumed.
+	Attempts map[int]int
+	// Quorum is the surviving-group minimum that was in force.
+	Quorum int
+	// Survivors counts the groups that contributed to the prediction.
+	Survivors int
+	// Total is the number of groups the prediction fanned out to.
+	Total int
+}
+
+// String summarises the degradation for logs and CLI output.
+func (d *Degradation) String() string {
+	return fmt.Sprintf("degraded: %d/%d groups failed %v (quorum %d, %d survivors re-weighted)",
+		len(d.FailedGroups), d.Total, d.FailedGroups, d.Quorum, d.Survivors)
 }
 
 func (o *Options) fillDefaults() {
@@ -150,6 +219,12 @@ type GroupRun struct {
 	// QueueTime is how long the group waited for a pool worker — nonzero
 	// when more groups than workers contend for the pool.
 	QueueTime time.Duration
+	// Attempts counts how many times the group's instance ran (retries
+	// included; zero when the group was cancelled before starting).
+	Attempts int
+	// Err is the group's final error when it exhausted its retries; such
+	// groups carry no Report and are excluded from the merged prediction.
+	Err error
 }
 
 // Result is a complete Zatel prediction.
@@ -170,6 +245,9 @@ type Result struct {
 	SimWallTime time.Duration
 	// TotalCPUTime sums all group simulation time.
 	TotalCPUTime time.Duration
+	// Degraded is non-nil when some groups failed but a quorum survived:
+	// Predicted was merged from the survivors with fraction re-weighting.
+	Degraded *Degradation
 }
 
 var filteredTrace = rt.FilteredTrace()
@@ -200,6 +278,15 @@ func (o *Options) validate() error {
 	}
 	if o.K < 0 {
 		return fmt.Errorf("core: negative downscaling factor %d", o.K)
+	}
+	if o.FT.Attempts < 0 {
+		return fmt.Errorf("core: negative retry attempts %d", o.FT.Attempts)
+	}
+	if o.FT.Backoff < 0 || o.FT.Timeout < 0 {
+		return fmt.Errorf("core: negative retry backoff %v or timeout %v", o.FT.Backoff, o.FT.Timeout)
+	}
+	if err := o.FT.Inject.Validate(); err != nil {
+		return fmt.Errorf("core: %w", err)
 	}
 	return nil
 }
@@ -293,7 +380,9 @@ func PredictContext(ctx context.Context, opts Options) (*Result, error) {
 
 	// Step 6: one downscaled simulator instance per group, scheduled on the
 	// bounded worker pool. Serial mode is the one-worker pool, so ordering
-	// and accounting are uniform; errors aggregate fail-soft across groups.
+	// and accounting are uniform; errors aggregate fail-soft across groups,
+	// each group retrying per the fault-tolerance policy before it counts
+	// as failed.
 	workers := 1
 	if opts.Parallel {
 		workers = runner.PoolSize(opts.Workers)
@@ -302,30 +391,71 @@ func PredictContext(ctx context.Context, opts Options) (*Result, error) {
 		run  GroupRun
 		vals combine.GroupValues
 	}
-	simStart := time.Now()
-	results, jobErr := runner.Map(ctx, len(groups), workers,
-		func(_ context.Context, gi int) (groupOut, error) {
-			run, vals, err := simulateGroup(wl, cfg, plans[gi].pixels,
-				plans[gi].selected, plans[gi].fraction, opts.Regression)
-			if err != nil {
-				return groupOut{}, fmt.Errorf("group %d: %w", gi, err)
-			}
-			return groupOut{run: run, vals: vals}, nil
-		})
-	elapsed := time.Since(simStart)
-	if jobErr != nil {
-		return nil, fmt.Errorf("core: %w", jobErr)
+	job := func(_ context.Context, gi int) (groupOut, error) {
+		run, vals, err := simulateGroup(wl, cfg, plans[gi].pixels,
+			plans[gi].selected, plans[gi].fraction, opts.Regression)
+		if err != nil {
+			return groupOut{}, fmt.Errorf("group %d: %w", gi, err)
+		}
+		return groupOut{run: run, vals: vals}, nil
 	}
-	runs := make([]GroupRun, len(groups))
-	values := make([]combine.GroupValues, len(groups))
+	if opts.FT.Inject.Enabled() {
+		inj, err := faults.NewInjector(opts.FT.Inject)
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		job = faults.Wrap(inj, job)
+	}
+	simStart := time.Now()
+	results, jobErr := runner.MapPolicy(ctx, len(groups), runner.Policy{
+		Workers:     workers,
+		MaxAttempts: opts.FT.Attempts,
+		Backoff:     opts.FT.Backoff,
+		Timeout:     opts.FT.Timeout,
+		JitterSeed:  opts.Seed,
+	}, job)
+	elapsed := time.Since(simStart)
+
+	// Grade the fan-out: failed groups are recorded with their plan's
+	// shape so callers can still render them; survivors feed the merge.
+	total := len(groups)
+	runs := make([]GroupRun, total)
+	values := make([]combine.GroupValues, 0, total)
+	var failed []int
 	for gi := range results {
-		runs[gi] = results[gi].Value.run
-		runs[gi].QueueTime = results[gi].QueueTime
-		values[gi] = results[gi].Value.vals
+		r := &results[gi]
+		if r.Err != nil {
+			runs[gi] = GroupRun{
+				Pixels:    len(plans[gi].pixels),
+				Selected:  len(plans[gi].selected),
+				Fraction:  plans[gi].fraction,
+				WallTime:  r.WallTime,
+				QueueTime: r.QueueTime,
+				Attempts:  r.Attempts,
+				Err:       r.Err,
+			}
+			failed = append(failed, gi)
+			continue
+		}
+		runs[gi] = r.Value.run
+		runs[gi].QueueTime = r.QueueTime
+		runs[gi].Attempts = r.Attempts
+		values = append(values, r.Value.vals)
 	}
 
-	// Step 7: combine.
-	predicted, err := combine.Merge(values)
+	// Degradation decision: a quorum of surviving groups carries the
+	// prediction (the stratified-sampling argument of DESIGN.md's failure
+	// semantics); below quorum the aggregated failure is the result.
+	quorum := opts.FT.quorumFor(total)
+	survivors := total - len(failed)
+	if len(failed) > 0 && survivors < quorum {
+		return nil, fmt.Errorf("core: %d/%d groups failed, quorum %d unmet: %w",
+			len(failed), total, quorum, jobErr)
+	}
+
+	// Step 7: combine the survivors, re-weighting throughput when groups
+	// are missing.
+	predicted, err := combine.MergeDegraded(values, total)
 	if err != nil {
 		return nil, err
 	}
@@ -341,6 +471,21 @@ func PredictContext(ctx context.Context, opts Options) (*Result, error) {
 		K:              k,
 		Quantized:      quant,
 		PreprocessTime: preprocess,
+	}
+	if len(failed) > 0 {
+		deg := &Degradation{
+			FailedGroups: failed,
+			GroupErrors:  make(map[int]error, len(failed)),
+			Attempts:     make(map[int]int, len(failed)),
+			Quorum:       quorum,
+			Survivors:    survivors,
+			Total:        total,
+		}
+		for _, gi := range failed {
+			deg.GroupErrors[gi] = runs[gi].Err
+			deg.Attempts[gi] = runs[gi].Attempts
+		}
+		res.Degraded = deg
 	}
 	// The deployed pipeline runs the K instances on K separate CPU cores,
 	// so the user-visible simulation time is the slowest instance. When

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -38,6 +39,11 @@ type DownscalePoint struct {
 	SimWall  time.Duration
 	RefWall  time.Duration
 	Speedup  float64
+	// Err is the point's failure (nil on success); failed points render as
+	// ERR cells and are excluded from the per-factor means.
+	Err error
+	// DegradedGroups counts groups the prediction lost to failures.
+	DegradedGroups int
 }
 
 // DownscaleResult backs Figs. 17/18 (errors per factor, fine vs coarse) and
@@ -51,6 +57,8 @@ type DownscaleResult struct {
 	Points map[core.Division]map[string][]DownscalePoint
 	// Pool is the sweep grid's worker-pool accounting.
 	Pool PoolStats
+	// Faults tallies failed and degraded grid points for the legend.
+	Faults FaultTally
 }
 
 // DownscaleSweep runs the downscaling-factor sweep on the given scenes
@@ -86,7 +94,7 @@ func DownscaleSweep(s Settings, cfg config.Config, scenes []string) (*DownscaleR
 
 	divs := []core.Division{core.FineGrained, core.CoarseGrained}
 	nsc, nk := len(scenes), len(factors)
-	rs, pool, err := gridMap(s, len(divs)*nsc*nk, func(i int) (DownscalePoint, error) {
+	rs, pool, _ := gridMap(s, len(divs)*nsc*nk, func(ctx context.Context, i int) (DownscalePoint, error) {
 		div := divs[i/(nsc*nk)]
 		sc := scenes[(i/nk)%nsc]
 		k := factors[i%nk]
@@ -95,12 +103,14 @@ func DownscaleSweep(s Settings, cfg config.Config, scenes []string) (*DownscaleR
 		opts.Division = div
 		opts.SingleGroup = true
 		opts.FixedFraction = 1 // trace every pixel of the group
-		res, err := core.Predict(opts)
+		opts.FT.Inject = opts.FT.Inject.SplitSeed(uint64(i))
+		res, err := core.PredictContext(ctx, opts)
 		if err != nil {
-			return DownscalePoint{}, fmt.Errorf("downscale %s K=%d %s: %w", sc, k, div, err)
+			return DownscalePoint{Scene: sc, K: k, Division: div,
+				Err: fmt.Errorf("downscale %s K=%d %s: %w", sc, k, div, err)}, nil
 		}
 		ref := refs[sc]
-		return DownscalePoint{
+		pt := DownscalePoint{
 			Scene:    sc,
 			K:        k,
 			Division: div,
@@ -108,18 +118,26 @@ func DownscaleSweep(s Settings, cfg config.Config, scenes []string) (*DownscaleR
 			SimWall:  res.PreprocessTime + res.SimWallTime,
 			RefWall:  ref.WallTime,
 			Speedup:  res.Speedup(ref),
-		}, nil
+		}
+		if res.Degraded != nil {
+			pt.DegradedGroups = len(res.Degraded.FailedGroups)
+		}
+		return pt, nil
 	})
-	if err != nil {
-		return nil, err
-	}
 	out.Pool = pool
 	for di, div := range divs {
 		out.Points[div] = map[string][]DownscalePoint{}
 		for si, sc := range scenes {
 			pts := make([]DownscalePoint, nk)
-			for ki := range factors {
-				pts[ki] = rs[di*nsc*nk+si*nk+ki].Value
+			for ki, k := range factors {
+				r := rs[di*nsc*nk+si*nk+ki]
+				pt := r.Value
+				if r.Err != nil && pt.Err == nil {
+					pt = DownscalePoint{Scene: sc, K: k, Division: div, Err: r.Err}
+				}
+				out.Faults.noteErr(pt.Err)
+				out.Faults.noteDegraded(pt.DegradedGroups)
+				pts[ki] = pt
 			}
 			out.Points[div][sc] = pts
 		}
@@ -144,15 +162,30 @@ func (r *DownscaleResult) RenderErrors(w io.Writer, figure string) {
 		for ki, k := range r.Factors {
 			fmt.Fprintf(w, "%-6d", k)
 			for _, m := range metrics.All() {
-				sum := 0.0
+				sum, n := 0.0, 0
 				for _, sc := range r.Scenes {
-					sum += r.Points[div][sc][ki].Errors[m]
+					if pt := r.Points[div][sc][ki]; pt.Err == nil {
+						sum += pt.Errors[m]
+						n++
+					}
 				}
-				fmt.Fprintf(w, "%22s", pct(sum/float64(len(r.Scenes))))
+				switch {
+				case n == 0:
+					fmt.Fprintf(w, "%22s", "ERR")
+				case n < len(r.Scenes):
+					// Partial mean: some scenes' points failed.
+					fmt.Fprintf(w, "%22s", pct(sum/float64(n))+"*")
+				default:
+					fmt.Fprintf(w, "%22s", pct(sum/float64(n)))
+				}
 			}
 			fmt.Fprintln(w)
 		}
 	}
+	if r.Faults.Failed > 0 {
+		fmt.Fprintln(w, "* mean over surviving scenes only (some points failed)")
+	}
+	r.Faults.Render(w)
 	fmt.Fprintln(w, "\n(paper: fine-grained keeps cycles/IPC error <12% even at K=6; DRAM-side metrics")
 	fmt.Fprintln(w, " degrade with downscaling; coarse-grained is less stable than fine-grained)")
 }
@@ -171,11 +204,21 @@ func (r *DownscaleResult) RenderSpeedup(w io.Writer) {
 	for ki, k := range r.Factors {
 		fmt.Fprintf(w, "%-6d", k)
 		for _, sc := range r.Scenes {
-			fmt.Fprintf(w, "%11.1fx", fine[sc][ki].Speedup)
+			pt := fine[sc][ki]
+			if pt.Err != nil {
+				fmt.Fprintf(w, "%12s", "ERR")
+				continue
+			}
+			cell := fmt.Sprintf("%.1fx", pt.Speedup)
+			if pt.DegradedGroups > 0 {
+				cell += "†"
+			}
+			fmt.Fprintf(w, "%12s", cell)
 		}
 		fmt.Fprintln(w)
 	}
 	r.Pool.Render(w)
+	r.Faults.Render(w)
 	fmt.Fprintln(w, "(paper: downscaling speedups track the pixel-reduction speedups of Fig. 15 —")
 	fmt.Fprintln(w, " downscaling itself does not significantly reduce execution time)")
 }

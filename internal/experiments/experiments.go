@@ -32,6 +32,15 @@ type Settings struct {
 	// independent (scene × parameter) simulations, so the rendered numbers
 	// are identical at any pool size; only the timing columns move.
 	Workers int
+	// FT is passed to every grid point's prediction: per-group retries,
+	// deadlines, degradation quorum and fault injection (see
+	// core.FaultTolerance). A point whose prediction still fails after all
+	// of that renders as an ERR cell instead of aborting the whole table.
+	FT core.FaultTolerance
+	// Ctx, when non-nil, cancels the experiment: grid points that have not
+	// started complete with the context error and render as ERR cells, so
+	// an interrupted sweep still prints the rows it finished.
+	Ctx context.Context
 }
 
 // Default returns the evaluation default (256×256, 1 spp).
@@ -55,7 +64,16 @@ func (s Settings) baseOptions(cfg config.Config, sceneName string) core.Options 
 		Width:  s.Width,
 		Height: s.Height,
 		SPP:    s.SPP,
+		FT:     s.FT,
 	}
+}
+
+// context resolves the Settings' cancellation context.
+func (s Settings) context() context.Context {
+	if s.Ctx != nil {
+		return s.Ctx
+	}
+	return context.Background()
 }
 
 // reference fetches (and memoises) the ground-truth full simulation.
@@ -99,14 +117,56 @@ func (p PoolStats) Render(w io.Writer) {
 // gridMap schedules n independent grid points on the Settings' worker pool
 // and returns the results in submission order plus the pool accounting.
 // The error, if any, aggregates every failed point (fail-soft: one bad
-// point does not stop the rest of the grid).
-func gridMap[T any](s Settings, n int, fn func(i int) (T, error)) ([]runner.Result[T], PoolStats, error) {
+// point does not stop the rest of the grid). Drivers embed per-point
+// failures into their cell types and render them rather than aborting;
+// only points cancelled before starting surface through Result.Err.
+func gridMap[T any](s Settings, n int, fn func(ctx context.Context, i int) (T, error)) ([]runner.Result[T], PoolStats, error) {
 	start := time.Now()
-	rs, err := runner.Map(context.Background(), n, s.Workers,
-		func(_ context.Context, i int) (T, error) { return fn(i) })
+	rs, err := runner.Map(s.context(), n, s.Workers, fn)
 	stats := PoolStats{Jobs: n, Workers: runner.PoolSize(s.Workers), Wall: time.Since(start)}
 	stats.CPU, _ = runner.Totals(rs)
 	return rs, stats, err
+}
+
+// FaultTally summarises a grid's failed and degraded points so tables can
+// render an explicit legend instead of aborting on the first failure.
+type FaultTally struct {
+	// Failed counts grid points whose prediction errored (including points
+	// cancelled before they started); FirstErr keeps the first cause.
+	Failed   int
+	FirstErr string
+	// Degraded counts points whose prediction lost groups but met quorum.
+	Degraded int
+}
+
+// noteErr records a point failure; it reports whether err was non-nil.
+func (t *FaultTally) noteErr(err error) bool {
+	if err == nil {
+		return false
+	}
+	t.Failed++
+	if t.FirstErr == "" {
+		t.FirstErr = err.Error()
+	}
+	return true
+}
+
+// noteDegraded records a degraded-but-surviving point.
+func (t *FaultTally) noteDegraded(n int) {
+	if n > 0 {
+		t.Degraded++
+	}
+}
+
+// Render prints the degraded/failed legend appended to experiment tables.
+func (t FaultTally) Render(w io.Writer) {
+	if t.Degraded > 0 {
+		fmt.Fprintf(w, "† %d cell(s) degraded: prediction merged from surviving groups only (see DESIGN.md, failure semantics)\n",
+			t.Degraded)
+	}
+	if t.Failed > 0 {
+		fmt.Fprintf(w, "ERR: %d cell(s) failed after retries; first error: %s\n", t.Failed, t.FirstErr)
+	}
 }
 
 // fmtDur prints a duration with millisecond precision.

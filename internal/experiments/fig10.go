@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -26,8 +27,18 @@ type Fig10Result struct {
 	// Capped holds the MaxFraction=0.1 Mobile SoC run (MAE and speedup).
 	CappedMAE     float64
 	CappedSpeedup float64
+	// CappedErr records the capped variant's failure ("" on success).
+	CappedErr string
+	// Failed maps a config name to its prediction's failure; failed
+	// configs have no Errors/MAE/Speedup entries and render as ERR.
+	Failed map[string]string
+	// Degraded maps a config name to the number of groups its prediction
+	// lost (present only when > 0).
+	Degraded map[string]int
 	// Pool is the prediction grid's worker-pool accounting.
 	Pool PoolStats
+	// Faults tallies failed and degraded predictions for the legend.
+	Faults FaultTally
 }
 
 // Fig10 runs the fully optimized Zatel (fine-grained division, Eq. 1
@@ -43,6 +54,8 @@ func Fig10(s Settings) (*Fig10Result, error) {
 		MAE:      map[string]float64{},
 		Speedup:  map[string]float64{},
 		K:        map[string]int{},
+		Failed:   map[string]string{},
+		Degraded: map[string]int{},
 	}
 	// References first (serial: their wall time feeds the speedup rows),
 	// then the three predictions — both configs plus the 10%-capped Mobile
@@ -58,47 +71,71 @@ func Fig10(s Settings) (*Fig10Result, error) {
 	}
 
 	type prediction struct {
-		errs    map[metrics.Metric]float64
-		mae     float64
-		speedup float64
-		k       int
+		errs     map[metrics.Metric]float64
+		mae      float64
+		speedup  float64
+		k        int
+		degraded int
+		err      error
 	}
 	jobs := append([]config.Config{}, cfgs...)
 	jobs = append(jobs, cfgs[0]) // the capped variant reuses the SoC config
-	rs, pool, err := gridMap(s, len(jobs), func(i int) (prediction, error) {
+	rs, pool, _ := gridMap(s, len(jobs), func(ctx context.Context, i int) (prediction, error) {
 		cfg := jobs[i]
 		opts := s.baseOptions(cfg, "PARK")
+		opts.FT.Inject = opts.FT.Inject.SplitSeed(uint64(i))
 		capped := i == len(jobs)-1
 		if capped {
 			// The drastically-reduced variant: at most 10% of each group.
 			opts.MaxFraction = 0.1
 		}
-		res, err := core.Predict(opts)
+		res, err := core.PredictContext(ctx, opts)
 		if err != nil {
-			return prediction{}, fmt.Errorf("fig10 %s capped=%v: %w", cfg.Name, capped, err)
+			return prediction{err: fmt.Errorf("fig10 %s capped=%v: %w", cfg.Name, capped, err)}, nil
 		}
 		errs := res.Errors(refs[cfg.Name])
-		return prediction{
+		p := prediction{
 			errs:    errs,
 			mae:     metrics.MAE(errs, metrics.All()),
 			speedup: res.Speedup(refs[cfg.Name]),
 			k:       res.K,
-		}, nil
+		}
+		if res.Degraded != nil {
+			p.degraded = len(res.Degraded.FailedGroups)
+		}
+		return p, nil
 	})
-	if err != nil {
-		return nil, err
-	}
 	out.Pool = pool
-	for i, cfg := range cfgs {
+	point := func(i int) prediction {
 		p := rs[i].Value
+		if e := rs[i].Err; e != nil && p.err == nil {
+			p.err = e
+		}
+		out.Faults.noteErr(p.err)
+		out.Faults.noteDegraded(p.degraded)
+		return p
+	}
+	for i, cfg := range cfgs {
+		p := point(i)
+		if p.err != nil {
+			out.Failed[cfg.Name] = p.err.Error()
+			continue
+		}
+		if p.degraded > 0 {
+			out.Degraded[cfg.Name] = p.degraded
+		}
 		out.Errors[cfg.Name] = p.errs
 		out.MAE[cfg.Name] = p.mae
 		out.Speedup[cfg.Name] = p.speedup
 		out.K[cfg.Name] = p.k
 	}
-	capped := rs[len(jobs)-1].Value
-	out.CappedMAE = capped.mae
-	out.CappedSpeedup = capped.speedup
+	capped := point(len(jobs) - 1)
+	if capped.err != nil {
+		out.CappedErr = capped.err.Error()
+	} else {
+		out.CappedMAE = capped.mae
+		out.CappedSpeedup = capped.speedup
+	}
 	return out, nil
 }
 
@@ -108,11 +145,23 @@ func (r *Fig10Result) Render(w io.Writer) {
 	fmt.Fprintf(w, "Fig. 10 — absolute error per metric, fully optimized Zatel on PARK (%dx%d, %d spp)\n",
 		r.Settings.Width, r.Settings.Height, r.Settings.SPP)
 	hr(w, 72)
-	names := make([]string, 0, len(r.Errors))
+	names := make([]string, 0, len(r.Errors)+len(r.Failed))
 	for name := range r.Errors {
 		names = append(names, name)
 	}
+	for name := range r.Failed {
+		names = append(names, name)
+	}
 	sort.Strings(names)
+	cell := func(n, ok string) string {
+		if _, failed := r.Failed[n]; failed {
+			return "ERR"
+		}
+		if r.Degraded[n] > 0 {
+			return ok + "†"
+		}
+		return ok
+	}
 	fmt.Fprintf(w, "%-22s", "Metric")
 	for _, n := range names {
 		fmt.Fprintf(w, "%16s", n)
@@ -121,28 +170,33 @@ func (r *Fig10Result) Render(w io.Writer) {
 	for _, m := range metrics.All() {
 		fmt.Fprintf(w, "%-22s", m)
 		for _, n := range names {
-			fmt.Fprintf(w, "%16s", pct(r.Errors[n][m]))
+			fmt.Fprintf(w, "%16s", cell(n, pct(r.Errors[n][m])))
 		}
 		fmt.Fprintln(w)
 	}
 	hr(w, 72)
 	fmt.Fprintf(w, "%-22s", "MAE")
 	for _, n := range names {
-		fmt.Fprintf(w, "%16s", pct(r.MAE[n]))
+		fmt.Fprintf(w, "%16s", cell(n, pct(r.MAE[n])))
 	}
 	fmt.Fprintln(w)
 	fmt.Fprintf(w, "%-22s", "Speedup")
 	for _, n := range names {
-		fmt.Fprintf(w, "%15.1fx", r.Speedup[n])
+		fmt.Fprintf(w, "%16s", cell(n, fmt.Sprintf("%.1fx", r.Speedup[n])))
 	}
 	fmt.Fprintln(w)
 	fmt.Fprintf(w, "%-22s", "K")
 	for _, n := range names {
-		fmt.Fprintf(w, "%16d", r.K[n])
+		fmt.Fprintf(w, "%16s", cell(n, fmt.Sprintf("%d", r.K[n])))
 	}
 	fmt.Fprintln(w)
-	fmt.Fprintf(w, "MobileSoC capped at 10%% pixels: MAE %s, speedup %.1fx\n",
-		pct(r.CappedMAE), r.CappedSpeedup)
+	if r.CappedErr != "" {
+		fmt.Fprintf(w, "MobileSoC capped at 10%% pixels: ERR (%s)\n", r.CappedErr)
+	} else {
+		fmt.Fprintf(w, "MobileSoC capped at 10%% pixels: MAE %s, speedup %.1fx\n",
+			pct(r.CappedMAE), r.CappedSpeedup)
+	}
 	r.Pool.Render(w)
+	r.Faults.Render(w)
 	fmt.Fprintf(w, "(paper: MAE 4.5%% SoC / 15.1%% RTX, ~10x speedup; 50x at 10%% cap with 5.2%% MAE)\n")
 }

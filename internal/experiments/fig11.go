@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -21,8 +22,14 @@ type Fig11Result struct {
 	// Diff is |Zatel−FullSim| per metric (the paper reports max 37.6% for
 	// L2 miss rate and min 0.6% for L1D).
 	Diff map[metrics.Metric]float64
+	// Failed lists per-config failures ("name: cause"); the normalized
+	// series need both configs, so any entry leaves the maps empty and the
+	// table renders the failure note instead.
+	Failed []string
 	// Pool is the per-config job grid's worker-pool accounting.
 	Pool PoolStats
+	// Faults tallies failed and degraded predictions for the legend.
+	Faults FaultTally
 }
 
 // Fig11 measures the normalized architecture comparison on PARK.
@@ -38,23 +45,21 @@ func Fig11(s Settings) (*Fig11Result, error) {
 	type pair struct {
 		ref  metrics.Report
 		pred *core.Result
+		err  error
 	}
-	rs, pool, err := gridMap(s, len(cfgs), func(i int) (pair, error) {
+	rs, pool, _ := gridMap(s, len(cfgs), func(ctx context.Context, i int) (pair, error) {
 		ref, err := s.reference(cfgs[i], "PARK")
 		if err != nil {
-			return pair{}, fmt.Errorf("fig11 %s reference: %w", cfgs[i].Name, err)
+			return pair{err: fmt.Errorf("fig11 %s reference: %w", cfgs[i].Name, err)}, nil
 		}
-		pred, err := core.Predict(s.baseOptions(cfgs[i], "PARK"))
+		opts := s.baseOptions(cfgs[i], "PARK")
+		opts.FT.Inject = opts.FT.Inject.SplitSeed(uint64(i))
+		pred, err := core.PredictContext(ctx, opts)
 		if err != nil {
-			return pair{}, fmt.Errorf("fig11 %s: %w", cfgs[i].Name, err)
+			return pair{err: fmt.Errorf("fig11 %s: %w", cfgs[i].Name, err)}, nil
 		}
 		return pair{ref: ref, pred: pred}, nil
 	})
-	if err != nil {
-		return nil, err
-	}
-	refSoC, refRTX := rs[0].Value.ref, rs[1].Value.ref
-	predSoC, predRTX := rs[0].Value.pred, rs[1].Value.pred
 
 	out := &Fig11Result{
 		Settings: s,
@@ -63,6 +68,25 @@ func Fig11(s Settings) (*Fig11Result, error) {
 		Diff:     map[metrics.Metric]float64{},
 	}
 	out.Pool = pool
+	for i := range rs {
+		p := rs[i].Value
+		if e := rs[i].Err; e != nil && p.err == nil {
+			p.err = e
+		}
+		if out.Faults.noteErr(p.err) {
+			out.Failed = append(out.Failed, fmt.Sprintf("%s: %v", cfgs[i].Name, p.err))
+			continue
+		}
+		if p.pred.Degraded != nil {
+			out.Faults.noteDegraded(len(p.pred.Degraded.FailedGroups))
+		}
+	}
+	if len(out.Failed) > 0 {
+		// Both configs are needed to normalize; render the failure instead.
+		return out, nil
+	}
+	refSoC, refRTX := rs[0].Value.ref, rs[1].Value.ref
+	predSoC, predRTX := rs[0].Value.pred, rs[1].Value.pred
 	for _, m := range metrics.All() {
 		out.FullSim[m] = safeDiv(refRTX.Value(m), refSoC.Value(m))
 		out.Zatel[m] = safeDiv(predRTX.Predicted[m], predSoC.Predicted[m])
@@ -90,11 +114,21 @@ func (r *Fig11Result) Render(w io.Writer) {
 	fmt.Fprintf(w, "Fig. 11 — RTX 2060 normalized to Mobile SoC on PARK (%dx%d, %d spp)\n",
 		r.Settings.Width, r.Settings.Height, r.Settings.SPP)
 	hr(w, 70)
+	if len(r.Failed) > 0 {
+		fmt.Fprintln(w, "normalized comparison unavailable — prediction(s) failed:")
+		for _, f := range r.Failed {
+			fmt.Fprintf(w, "  %s\n", f)
+		}
+		r.Pool.Render(w)
+		r.Faults.Render(w)
+		return
+	}
 	fmt.Fprintf(w, "%-22s%12s%12s%14s\n", "Metric", "FullSim", "Zatel", "|diff|")
 	for _, m := range metrics.All() {
 		fmt.Fprintf(w, "%-22s%12.3f%12.3f%14s\n",
 			m, r.FullSim[m], r.Zatel[m], pct(r.Diff[m]))
 	}
 	r.Pool.Render(w)
+	r.Faults.Render(w)
 	fmt.Fprintln(w, "(paper: max normalized difference 37.6% on L2 miss rate, min 0.6% on L1D)")
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -19,15 +20,21 @@ type Fig20Result struct {
 	Config   string
 	Scenes   []string
 	// RegErr and DirectErr map [scene][metric] to the absolute error of
-	// the regression prediction and of the direct 40% prediction.
+	// the regression prediction and of the direct 40% prediction. Failed
+	// scenes have no entries.
 	RegErr    map[string]map[metrics.Metric]float64
 	DirectErr map[string]map[metrics.Metric]float64
+	// Failed maps a scene to its failure; failed scenes render as ERR and
+	// abstain from the WorseCount/Total ratio.
+	Failed map[string]string
 	// WorseCount counts (scene, metric) pairs where regression is less
-	// accurate; Total is the number of pairs.
+	// accurate; Total is the number of pairs over surviving scenes.
 	WorseCount int
 	Total      int
 	// Pool is the per-scene job grid's worker-pool accounting.
 	Pool PoolStats
+	// Faults tallies failed and degraded scenes for the legend.
+	Faults FaultTally
 }
 
 // Fig20 runs the regression-vs-direct comparison on every scene. The
@@ -46,46 +53,60 @@ func Fig20(s Settings, cfg config.Config, scenes []string) (*Fig20Result, error)
 		Scenes:    scenes,
 		RegErr:    map[string]map[metrics.Metric]float64{},
 		DirectErr: map[string]map[metrics.Metric]float64{},
+		Failed:    map[string]string{},
 	}
 	// One job per scene; each runs the three regression simulations and
 	// derives the direct baseline from its own 40% run.
 	type sceneErrs struct {
-		reg    map[metrics.Metric]float64
-		direct map[metrics.Metric]float64
+		reg      map[metrics.Metric]float64
+		direct   map[metrics.Metric]float64
+		degraded int
+		err      error
 	}
-	rs, pool, err := gridMap(s, len(scenes), func(i int) (sceneErrs, error) {
+	rs, pool, _ := gridMap(s, len(scenes), func(ctx context.Context, i int) (sceneErrs, error) {
 		sc := scenes[i]
 		ref, err := s.reference(cfg, sc)
 		if err != nil {
-			return sceneErrs{}, fmt.Errorf("fig20 %s reference: %w", sc, err)
+			return sceneErrs{err: fmt.Errorf("fig20 %s reference: %w", sc, err)}, nil
 		}
 		opts := s.baseOptions(cfg, sc)
 		opts.NoDownscale = true
 		opts.Regression = true
-		res, err := core.Predict(opts)
+		opts.FT.Inject = opts.FT.Inject.SplitSeed(uint64(i))
+		res, err := core.PredictContext(ctx, opts)
 		if err != nil {
-			return sceneErrs{}, fmt.Errorf("fig20 %s: %w", sc, err)
+			return sceneErrs{err: fmt.Errorf("fig20 %s: %w", sc, err)}, nil
 		}
 
 		// The direct baseline: linear extrapolation of the 40% run the
 		// regression already performed.
 		direct, err := combine.Linear(res.Groups[0].Report, res.Groups[0].Fraction)
 		if err != nil {
-			return sceneErrs{}, fmt.Errorf("fig20 %s direct: %w", sc, err)
+			return sceneErrs{err: fmt.Errorf("fig20 %s direct: %w", sc, err)}, nil
 		}
 		derr := map[metrics.Metric]float64{}
 		for _, m := range metrics.All() {
 			derr[m] = metrics.AbsErr(direct[m], ref.Value(m))
 		}
-		return sceneErrs{reg: res.Errors(ref), direct: derr}, nil
+		se := sceneErrs{reg: res.Errors(ref), direct: derr}
+		if res.Degraded != nil {
+			se.degraded = len(res.Degraded.FailedGroups)
+		}
+		return se, nil
 	})
-	if err != nil {
-		return nil, err
-	}
 	out.Pool = pool
 	for i, sc := range scenes {
-		out.RegErr[sc] = rs[i].Value.reg
-		out.DirectErr[sc] = rs[i].Value.direct
+		se := rs[i].Value
+		if e := rs[i].Err; e != nil && se.err == nil {
+			se.err = e
+		}
+		if out.Faults.noteErr(se.err) {
+			out.Failed[sc] = se.err.Error()
+			continue
+		}
+		out.Faults.noteDegraded(se.degraded)
+		out.RegErr[sc] = se.reg
+		out.DirectErr[sc] = se.direct
 		for _, m := range metrics.All() {
 			out.Total++
 			if out.RegErr[sc][m] > out.DirectErr[sc][m]+1e-12 {
@@ -104,6 +125,10 @@ func (r *Fig20Result) Render(w io.Writer) {
 	for _, sc := range r.Scenes {
 		fmt.Fprintf(w, "\n%s:\n", sc)
 		hr(w, 64)
+		if cause, failed := r.Failed[sc]; failed {
+			fmt.Fprintf(w, "ERR: %s\n", cause)
+			continue
+		}
 		fmt.Fprintf(w, "%-22s%14s%14s%10s\n", "Metric", "regression", "direct 40%", "worse?")
 		for _, m := range metrics.All() {
 			worse := ""
@@ -121,6 +146,7 @@ func (r *Fig20Result) Render(w io.Writer) {
 	fmt.Fprintf(w, "\nregression worse on %d/%d metric-scene pairs (%.0f%%)\n",
 		r.WorseCount, r.Total, 100*frac)
 	r.Pool.Render(w)
+	r.Faults.Render(w)
 	fmt.Fprintln(w, "(paper: 62% of metrics worse with regression on RTX 2060 — no clear advantage")
 	fmt.Fprintln(w, " while costing three simulator runs)")
 }

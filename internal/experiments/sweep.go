@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -25,6 +26,13 @@ type SweepPoint struct {
 	RefWall time.Duration
 	// Speedup is RefWall / SimWall.
 	Speedup float64
+	// Err is the point's failure after the prediction's own retries and
+	// degradation ran out (nil on success); failed points render as ERR
+	// cells instead of aborting the sweep.
+	Err error
+	// DegradedGroups counts groups the prediction lost to failures
+	// (0 = clean).
+	DegradedGroups int
 }
 
 // SweepResult is the shared data behind Figs. 13, 14, 15 and 16: the same
@@ -43,6 +51,8 @@ type SweepResult struct {
 	FitErr     string
 	// Pool is the grid's worker-pool accounting (cpu vs wall time).
 	Pool PoolStats
+	// Faults tallies failed and degraded grid points for the legend.
+	Faults FaultTally
 }
 
 // PercentSweep runs Zatel at {10..90}% of pixels without downscaling on
@@ -78,28 +88,36 @@ func PercentSweep(s Settings, cfg config.Config, scenes []string) (*SweepResult,
 	// exactly the short concurrent runs the methodology amortizes — so
 	// they fan out on the worker pool in one flat grid.
 	np := len(percents)
-	rs, pool, err := gridMap(s, len(scenes)*np, func(i int) (SweepPoint, error) {
+	rs, pool, _ := gridMap(s, len(scenes)*np, func(ctx context.Context, i int) (SweepPoint, error) {
 		sc, p := scenes[i/np], percents[i%np]
 		opts := s.baseOptions(cfg, sc)
 		opts.NoDownscale = true
 		opts.FixedFraction = float64(p) / 100
-		res, err := core.Predict(opts)
+		// Re-root the injection stream per cell so grid points fail
+		// independently (each K=1 prediction would otherwise draw the
+		// identical first decision).
+		opts.FT.Inject = opts.FT.Inject.SplitSeed(uint64(i))
+		res, err := core.PredictContext(ctx, opts)
 		if err != nil {
-			return SweepPoint{}, fmt.Errorf("sweep %s@%d%%: %w", sc, p, err)
+			// Fail-soft: the failed cell renders instead of killing the
+			// whole sweep.
+			return SweepPoint{Scene: sc, Percent: p,
+				Err: fmt.Errorf("sweep %s@%d%%: %w", sc, p, err)}, nil
 		}
 		ref := refs[sc]
-		return SweepPoint{
+		pt := SweepPoint{
 			Scene:   sc,
 			Percent: p,
 			Errors:  res.Errors(ref),
 			SimWall: res.PreprocessTime + res.SimWallTime,
 			RefWall: ref.WallTime,
 			Speedup: res.Speedup(ref),
-		}, nil
+		}
+		if res.Degraded != nil {
+			pt.DegradedGroups = len(res.Degraded.FailedGroups)
+		}
+		return pt, nil
 	})
-	if err != nil {
-		return nil, err
-	}
 	out.Pool = pool
 
 	var xs, ys []float64
@@ -107,8 +125,14 @@ func PercentSweep(s Settings, cfg config.Config, scenes []string) (*SweepResult,
 		pts := make([]SweepPoint, np)
 		for pi := range percents {
 			pt := rs[si*np+pi].Value
+			if e := rs[si*np+pi].Err; e != nil && pt.Err == nil {
+				// Cancelled before starting: the value is zero, rebuild it.
+				pt = SweepPoint{Scene: sc, Percent: percents[pi], Err: e}
+			}
+			out.Faults.noteErr(pt.Err)
+			out.Faults.noteDegraded(pt.DegradedGroups)
 			pts[pi] = pt
-			if pt.Speedup > 0 {
+			if pt.Err == nil && pt.Speedup > 0 {
 				xs = append(xs, float64(pt.Percent))
 				ys = append(ys, pt.Speedup)
 			}
@@ -176,6 +200,9 @@ func (r *SweepResult) RenderFig16(w io.Writer) {
 			lo, hi, sum := math.Inf(1), math.Inf(-1), 0.0
 			n := 0
 			for _, sc := range r.Scenes {
+				if r.Points[sc][pi].Err != nil {
+					continue
+				}
 				e := r.Points[sc][pi].Errors[m]
 				if math.IsInf(e, 0) {
 					continue
@@ -192,6 +219,7 @@ func (r *SweepResult) RenderFig16(w io.Writer) {
 		}
 		fmt.Fprintln(w)
 	}
+	r.Faults.Render(w)
 	fmt.Fprintln(w, "(paper: MAE decreases exponentially with % traced; cache metrics saturate fastest)")
 }
 
@@ -205,8 +233,22 @@ func (r *SweepResult) renderPerScene(w io.Writer, cell func(SweepPoint) string) 
 	for pi, p := range r.Percents {
 		fmt.Fprintf(w, "%-6d", p)
 		for _, sc := range r.Scenes {
-			fmt.Fprintf(w, "%12s", cell(r.Points[sc][pi]))
+			fmt.Fprintf(w, "%12s", faultCell(r.Points[sc][pi], cell))
 		}
 		fmt.Fprintln(w)
 	}
+	r.Faults.Render(w)
+}
+
+// faultCell renders a point through cell, substituting ERR for failed
+// points and marking degraded ones with †.
+func faultCell(pt SweepPoint, cell func(SweepPoint) string) string {
+	if pt.Err != nil {
+		return "ERR"
+	}
+	s := cell(pt)
+	if pt.DegradedGroups > 0 {
+		s += "†"
+	}
+	return s
 }

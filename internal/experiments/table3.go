@@ -1,8 +1,10 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"math"
 
 	"zatel/internal/config"
 	"zatel/internal/core"
@@ -34,6 +36,9 @@ type Table3Cell struct {
 	Dist    sampling.Distribution
 	Section int // block height; width is always 32
 	Err     float64
+	// Failed marks a cell whose grid point errored after retries; Err is
+	// meaningless and pickBest skips the cell.
+	Failed bool
 }
 
 // Table3Best summarises one metric row of the table for one scene.
@@ -42,7 +47,8 @@ type Table3Best struct {
 	// are within 10% relative error of each other.
 	BestDist    string
 	BestSection string
-	// MAE is the winning configuration's error.
+	// MAE is the winning configuration's error (NaN when every candidate
+	// cell failed, rendered as ERR).
 	MAE float64
 }
 
@@ -59,6 +65,8 @@ type Table3Result struct {
 	SceneMAE map[string]float64
 	// Pool is the tuning grid's worker-pool accounting.
 	Pool PoolStats
+	// Faults tallies failed and degraded grid points for the legend.
+	Faults FaultTally
 }
 
 // Table3 runs the tuning grid: 3 scenes × 3 distributions × 4 section
@@ -91,11 +99,17 @@ func Table3(s Settings, cfg config.Config, reps int) (*Table3Result, error) {
 	}
 
 	nd, ns := len(dists), len(sections)
-	rs, pool, err := gridMap(s, len(scenes)*nd*ns, func(i int) (map[metrics.Metric]float64, error) {
+	type cellAvg struct {
+		avg      map[metrics.Metric]float64
+		degraded int
+		err      error
+	}
+	rs, pool, _ := gridMap(s, len(scenes)*nd*ns, func(ctx context.Context, i int) (cellAvg, error) {
 		sc := scenes[i/(nd*ns)]
 		dist := dists[(i/ns)%nd]
 		section := sections[i%ns]
 		sums := map[metrics.Metric]float64{}
+		degraded := 0
 		for rep := 0; rep < reps; rep++ {
 			opts := s.baseOptions(cfg, sc)
 			opts.NoDownscale = true
@@ -104,9 +118,15 @@ func Table3(s Settings, cfg config.Config, reps int) (*Table3Result, error) {
 			opts.Dist = dist
 			opts.FixedFraction = 0.03
 			opts.Seed = uint64(rep)*977 + 13
-			res, err := core.Predict(opts)
+			// One stratum per (cell, rep): each repetition is its own
+			// prediction and must fail independently.
+			opts.FT.Inject = opts.FT.Inject.SplitSeed(uint64(i*reps + rep))
+			res, err := core.PredictContext(ctx, opts)
 			if err != nil {
-				return nil, fmt.Errorf("table3 %s/%s/32x%d: %w", sc, dist, section, err)
+				return cellAvg{err: fmt.Errorf("table3 %s/%s/32x%d: %w", sc, dist, section, err)}, nil
+			}
+			if res.Degraded != nil {
+				degraded++
 			}
 			for m, e := range res.Errors(refs[sc]) {
 				sums[m] += e
@@ -115,23 +135,27 @@ func Table3(s Settings, cfg config.Config, reps int) (*Table3Result, error) {
 		for m := range sums {
 			sums[m] /= float64(reps)
 		}
-		return sums, nil
+		return cellAvg{avg: sums, degraded: degraded}, nil
 	})
-	if err != nil {
-		return nil, err
-	}
 	out.Pool = pool
 
 	for si, sc := range scenes {
 		out.Cells[sc] = map[metrics.Metric][]Table3Cell{}
 		for di, dist := range dists {
 			for seci, section := range sections {
-				avg := rs[si*nd*ns+di*ns+seci].Value
+				r := rs[si*nd*ns+di*ns+seci]
+				point := r.Value
+				if r.Err != nil && point.err == nil {
+					point.err = r.Err
+				}
+				failed := out.Faults.noteErr(point.err)
+				out.Faults.noteDegraded(point.degraded)
 				for _, m := range metrics.All() {
 					out.Cells[sc][m] = append(out.Cells[sc][m], Table3Cell{
 						Dist:    dist,
 						Section: section,
-						Err:     avg[m],
+						Err:     point.avg[m],
+						Failed:  failed,
 					})
 				}
 			}
@@ -139,31 +163,50 @@ func Table3(s Settings, cfg config.Config, reps int) (*Table3Result, error) {
 		// Pick winners per metric.
 		out.Best[sc] = map[metrics.Metric]Table3Best{}
 		var maeSum float64
+		finite := 0
 		for _, m := range metrics.All() {
 			best := pickBest(out.Cells[sc][m])
 			out.Best[sc][m] = best
-			maeSum += best.MAE
+			if !math.IsNaN(best.MAE) {
+				maeSum += best.MAE
+				finite++
+			}
 		}
-		out.SceneMAE[sc] = maeSum / float64(len(metrics.All()))
+		if finite > 0 {
+			out.SceneMAE[sc] = maeSum / float64(finite)
+		} else {
+			out.SceneMAE[sc] = math.NaN()
+		}
 	}
 	return out, nil
 }
 
-// pickBest finds the lowest-error cell and decides whether the distribution
-// or section choice actually matters ("any" when all options land within
-// 10% relative of the winner).
+// pickBest finds the lowest-error cell among the surviving candidates and
+// decides whether the distribution or section choice actually matters
+// ("any" when all options land within 10% relative of the winner). Failed
+// cells are excluded; with no survivors the row renders as ERR (NaN MAE).
 func pickBest(cells []Table3Cell) Table3Best {
-	best := cells[0]
-	for _, c := range cells[1:] {
-		if c.Err < best.Err {
+	best := Table3Cell{Failed: true}
+	for _, c := range cells {
+		if c.Failed {
+			continue
+		}
+		if best.Failed || c.Err < best.Err {
 			best = c
 		}
+	}
+	if best.Failed {
+		return Table3Best{BestDist: "ERR", BestSection: "ERR", MAE: math.NaN()}
 	}
 	tol := best.Err*1.10 + 1e-9
 	distMatters, sectionMatters := false, false
 	// The distribution matters if some other distribution (at the best
-	// section size) exceeds the tolerance; likewise for sections.
+	// section size) exceeds the tolerance; likewise for sections. Failed
+	// cells abstain from the comparison.
 	for _, c := range cells {
+		if c.Failed {
+			continue
+		}
 		if c.Section == best.Section && c.Err > tol {
 			distMatters = true
 		}
@@ -187,16 +230,25 @@ func (r *Table3Result) Render(w io.Writer) {
 	fmt.Fprintf(w, "Table III — tuning distribution and section size (%s, %dx%d, ~3%% pixels)\n",
 		r.Config, r.Settings.Width, r.Settings.Height)
 	for _, sc := range Table3Scenes() {
-		fmt.Fprintf(w, "\n%s (scene MAE %s):\n", sc, pct(r.SceneMAE[sc]))
+		sceneMAE := "ERR"
+		if !math.IsNaN(r.SceneMAE[sc]) {
+			sceneMAE = pct(r.SceneMAE[sc])
+		}
+		fmt.Fprintf(w, "\n%s (scene MAE %s):\n", sc, sceneMAE)
 		hr(w, 70)
 		fmt.Fprintf(w, "%-22s%12s%14s%10s\n", "Metric", "Best Dist", "Best Section", "MAE")
 		for _, m := range metrics.All() {
 			b := r.Best[sc][m]
-			fmt.Fprintf(w, "%-22s%12s%14s%10s\n", m, b.BestDist, b.BestSection, pct(b.MAE))
+			mae := "ERR"
+			if !math.IsNaN(b.MAE) {
+				mae = pct(b.MAE)
+			}
+			fmt.Fprintf(w, "%-22s%12s%14s%10s\n", m, b.BestDist, b.BestSection, mae)
 		}
 	}
 	fmt.Fprintln(w)
 	r.Pool.Render(w)
+	r.Faults.Render(w)
 	fmt.Fprintln(w, "(paper: scene MAEs 21.0% SHIP / 13.9% WKND / 8.5% BUNNY — warmer scenes predict better;")
 	fmt.Fprintln(w, " most cells are \"any\"; uniform wins where it matters; exptmp favours RT metrics)")
 }

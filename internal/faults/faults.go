@@ -1,0 +1,191 @@
+// Package faults provides a deterministic, seeded fault injector for
+// worker-pool jobs. The north-star deployment runs K downscaled simulator
+// instances per prediction under heavy traffic, where instance crashes,
+// transient errors and stragglers are the norm rather than the exception;
+// this package lets tests and operators soak the whole pipeline against
+// those failure modes reproducibly.
+//
+// Every injection decision is a pure function of (Seed, job index, attempt
+// number): two runs with the same configuration inject exactly the same
+// faults into exactly the same attempts, regardless of pool size or
+// goroutine scheduling. That determinism is what makes degraded-mode
+// predictions testable — the set of surviving groups, and therefore the
+// degraded output, is identical run to run.
+package faults
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"zatel/internal/vecmath"
+)
+
+// ErrInjected is the sentinel cause wrapped by every injected (non-panic)
+// failure; tests distinguish injected faults from real ones with
+// errors.Is(err, faults.ErrInjected).
+var ErrInjected = errors.New("faults: injected failure")
+
+// Config describes the fault distribution. The zero value injects nothing.
+type Config struct {
+	// ErrorRate is the per-attempt probability of failing with ErrInjected.
+	ErrorRate float64
+	// PanicRate is the per-attempt probability of panicking (the pool's
+	// panic capture turns it into that attempt's error).
+	PanicRate float64
+	// StragglerRate is the per-attempt probability of delaying the job by a
+	// draw from an exponential latency distribution before it runs.
+	StragglerRate float64
+	// StragglerMean is the mean of the straggler delay distribution
+	// (individual delays are capped at 8x the mean). Required when
+	// StragglerRate > 0.
+	StragglerMean time.Duration
+	// Seed roots every injection decision.
+	Seed uint64
+}
+
+// Enabled reports whether the configuration injects any fault at all.
+func (c Config) Enabled() bool {
+	return c.ErrorRate > 0 || c.PanicRate > 0 || c.StragglerRate > 0
+}
+
+// Validate checks the rates and the straggler distribution parameters.
+func (c Config) Validate() error {
+	for _, r := range []struct {
+		name string
+		rate float64
+	}{
+		{"ErrorRate", c.ErrorRate},
+		{"PanicRate", c.PanicRate},
+		{"StragglerRate", c.StragglerRate},
+	} {
+		if r.rate < 0 || r.rate > 1 || math.IsNaN(r.rate) {
+			return fmt.Errorf("faults: %s %v out of [0,1]", r.name, r.rate)
+		}
+	}
+	if c.StragglerRate > 0 && c.StragglerMean <= 0 {
+		return fmt.Errorf("faults: StragglerRate %v needs a positive StragglerMean", c.StragglerRate)
+	}
+	return nil
+}
+
+// SplitSeed returns a copy of the configuration whose decision stream is
+// re-rooted for the given stratum (e.g. an experiment-grid cell index).
+// Many single-group predictions sharing one config would otherwise draw
+// the identical (seed, 0, 1) decision and fail in lockstep; splitting
+// keeps each stratum's faults independent yet still fully deterministic.
+// A disabled config is returned unchanged.
+func (c Config) SplitSeed(n uint64) Config {
+	if !c.Enabled() {
+		return c
+	}
+	c.Seed = vecmath.NewRNG(c.Seed).Split(n).Uint64()
+	return c
+}
+
+// Stats counts the faults an Injector has delivered.
+type Stats struct {
+	Errors    int64
+	Panics    int64
+	Straggles int64
+}
+
+// Injector wraps jobs with seeded fault decisions. It tracks per-job-index
+// attempt counts so retried attempts draw fresh, yet still deterministic,
+// decisions.
+type Injector struct {
+	cfg Config
+
+	mu       sync.Mutex
+	attempts map[int]int
+
+	errors    atomic.Int64
+	panics    atomic.Int64
+	straggles atomic.Int64
+}
+
+// NewInjector validates cfg and returns an injector for it.
+func NewInjector(cfg Config) (*Injector, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Injector{cfg: cfg, attempts: map[int]int{}}, nil
+}
+
+// Config returns the injector's configuration.
+func (inj *Injector) Config() Config { return inj.cfg }
+
+// Stats snapshots the injected-fault counters.
+func (inj *Injector) Stats() Stats {
+	return Stats{
+		Errors:    inj.errors.Load(),
+		Panics:    inj.panics.Load(),
+		Straggles: inj.straggles.Load(),
+	}
+}
+
+// next returns the 1-based attempt number of the upcoming run of job index.
+// Attempts per index advance sequentially (a job retries only after its
+// previous attempt finished), so the counter is deterministic per index.
+func (inj *Injector) next(index int) int {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	inj.attempts[index]++
+	return inj.attempts[index]
+}
+
+// Wrap decorates fn with the injector's faults: the decorated job may be
+// delayed (straggler), panic, or fail with ErrInjected before fn runs —
+// each decision drawn from a stream keyed by (Seed, index, attempt). A nil
+// or disabled injector returns fn unchanged. Straggler delays honour ctx,
+// so per-attempt deadlines cut hung stragglers short.
+func Wrap[T any](inj *Injector, fn func(context.Context, int) (T, error)) func(context.Context, int) (T, error) {
+	if inj == nil || !inj.cfg.Enabled() {
+		return fn
+	}
+	return func(ctx context.Context, index int) (T, error) {
+		attempt := inj.next(index)
+		rng := vecmath.NewRNG(inj.cfg.Seed).Split(uint64(index)).Split(uint64(attempt))
+		if rng.Float64() < inj.cfg.StragglerRate {
+			inj.straggles.Add(1)
+			d := stragglerDelay(inj.cfg.StragglerMean, rng.Float64())
+			t := time.NewTimer(d)
+			select {
+			case <-t.C:
+			case <-ctx.Done():
+				t.Stop()
+				var zero T
+				return zero, fmt.Errorf("faults: job %d attempt %d straggling (%v injected): %w",
+					index, attempt, d, ctx.Err())
+			}
+		}
+		if rng.Float64() < inj.cfg.PanicRate {
+			inj.panics.Add(1)
+			panic(fmt.Sprintf("faults: injected panic (job %d attempt %d)", index, attempt))
+		}
+		if rng.Float64() < inj.cfg.ErrorRate {
+			inj.errors.Add(1)
+			var zero T
+			return zero, fmt.Errorf("faults: job %d attempt %d: %w", index, attempt, ErrInjected)
+		}
+		return fn(ctx, index)
+	}
+}
+
+// stragglerDelay maps a uniform draw u onto the exponential distribution
+// with the given mean, capped at 8x the mean so one straggler stays
+// bounded (the cap is what lets deadline-free soaks still terminate).
+func stragglerDelay(mean time.Duration, u float64) time.Duration {
+	d := time.Duration(-float64(mean) * math.Log(1-u))
+	if d < 0 {
+		d = 0
+	}
+	if max := 8 * mean; d > max {
+		d = max
+	}
+	return d
+}

@@ -1,0 +1,234 @@
+package faults
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+// ok is a job that always succeeds, returning its index.
+func ok(ctx context.Context, i int) (int, error) { return i, nil }
+
+func TestConfigValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+		want bool // valid?
+	}{
+		{"zero", Config{}, true},
+		{"all rates", Config{ErrorRate: 0.3, PanicRate: 0.1, StragglerRate: 0.2, StragglerMean: time.Millisecond}, true},
+		{"error rate 1", Config{ErrorRate: 1}, true},
+		{"negative rate", Config{ErrorRate: -0.1}, false},
+		{"rate above 1", Config{PanicRate: 1.5}, false},
+		{"straggle without mean", Config{StragglerRate: 0.5}, false},
+		{"straggle negative mean", Config{StragglerRate: 0.5, StragglerMean: -time.Second}, false},
+	}
+	for _, c := range cases {
+		err := c.cfg.Validate()
+		if c.want && err != nil {
+			t.Errorf("%s: unexpected error %v", c.name, err)
+		}
+		if !c.want && err == nil {
+			t.Errorf("%s: invalid config accepted", c.name)
+		}
+	}
+	if (Config{}).Enabled() {
+		t.Error("zero config reports Enabled")
+	}
+	if !(Config{StragglerRate: 0.1, StragglerMean: time.Millisecond}).Enabled() {
+		t.Error("straggler-only config reports disabled")
+	}
+}
+
+func TestWrapDisabledPassesThrough(t *testing.T) {
+	if v, err := Wrap[int](nil, ok)(context.Background(), 7); err != nil || v != 7 {
+		t.Errorf("nil injector: got (%d, %v)", v, err)
+	}
+	inj, err := NewInjector(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, err := Wrap(inj, ok)(context.Background(), 3); err != nil || v != 3 {
+		t.Errorf("disabled injector: got (%d, %v)", v, err)
+	}
+}
+
+func TestNewInjectorRejectsInvalid(t *testing.T) {
+	if _, err := NewInjector(Config{ErrorRate: 2}); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+// outcomes runs the wrapped job once for every index in [0, n) over the
+// given number of attempts per index and records which (index, attempt)
+// pairs failed.
+func outcomes(t *testing.T, cfg Config, n, attempts int) []bool {
+	t.Helper()
+	inj, err := NewInjector(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrapped := Wrap(inj, ok)
+	fails := make([]bool, 0, n*attempts)
+	for i := 0; i < n; i++ {
+		for a := 0; a < attempts; a++ {
+			_, err := wrapped(context.Background(), i)
+			fails = append(fails, err != nil)
+		}
+	}
+	return fails
+}
+
+func TestInjectionIsDeterministic(t *testing.T) {
+	cfg := Config{ErrorRate: 0.4, Seed: 99}
+	first := outcomes(t, cfg, 200, 3)
+	second := outcomes(t, cfg, 200, 3)
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("decision %d differs between identical runs", i)
+		}
+	}
+	// A different seed must produce a different fault pattern.
+	other := outcomes(t, Config{ErrorRate: 0.4, Seed: 100}, 200, 3)
+	same := true
+	for i := range first {
+		if first[i] != other[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("seeds 99 and 100 injected identical fault patterns")
+	}
+}
+
+func TestErrorRateApproximatelyHolds(t *testing.T) {
+	const n = 2000
+	fails := outcomes(t, Config{ErrorRate: 0.3, Seed: 1}, n, 1)
+	count := 0
+	for _, f := range fails {
+		if f {
+			count++
+		}
+	}
+	// 0.3 ± generous tolerance; the draws are deterministic, so this can
+	// never flake once it passes.
+	if count < n*20/100 || count > n*40/100 {
+		t.Errorf("%d/%d injected errors, want ~30%%", count, n)
+	}
+}
+
+func TestInjectedErrorWrapsSentinel(t *testing.T) {
+	inj, err := NewInjector(Config{ErrorRate: 1, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, jerr := Wrap(inj, ok)(context.Background(), 0)
+	if !errors.Is(jerr, ErrInjected) {
+		t.Errorf("injected error %v does not wrap ErrInjected", jerr)
+	}
+	if got := inj.Stats(); got.Errors != 1 || got.Panics != 0 || got.Straggles != 0 {
+		t.Errorf("stats = %+v, want 1 error", got)
+	}
+}
+
+func TestInjectedPanic(t *testing.T) {
+	inj, err := NewInjector(Config{PanicRate: 1, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrapped := Wrap(inj, ok)
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("no panic injected at rate 1")
+		}
+		if !strings.Contains(r.(string), "injected panic") {
+			t.Errorf("panic value %v", r)
+		}
+		if got := inj.Stats(); got.Panics != 1 {
+			t.Errorf("stats = %+v, want 1 panic", got)
+		}
+	}()
+	wrapped(context.Background(), 0)
+}
+
+func TestStragglerHonoursContext(t *testing.T) {
+	// Mean 10s: the exponential draw exceeds the 20ms deadline for any
+	// plausible uniform draw, and the decision stream is deterministic, so
+	// at least one of the first few indices must report a cut-short
+	// straggle quickly.
+	inj, err := NewInjector(Config{StragglerRate: 1, StragglerMean: 10 * time.Second, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrapped := Wrap(inj, ok)
+	start := time.Now()
+	sawDeadline := false
+	for i := 0; i < 5; i++ {
+		ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+		_, jerr := wrapped(ctx, i)
+		cancel()
+		if errors.Is(jerr, context.DeadlineExceeded) {
+			sawDeadline = true
+		}
+	}
+	if !sawDeadline {
+		t.Error("no straggler was interrupted by its deadline")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("stragglers ignored their contexts (took %v)", elapsed)
+	}
+	if got := inj.Stats(); got.Straggles != 5 {
+		t.Errorf("stats = %+v, want 5 straggles", got)
+	}
+}
+
+func TestAttemptsDrawFreshDecisions(t *testing.T) {
+	// At rate 0.5 the per-attempt decisions for one index must not all
+	// agree across many attempts — retried attempts draw new faults.
+	inj, err := NewInjector(Config{ErrorRate: 0.5, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrapped := Wrap(inj, ok)
+	saw := map[bool]bool{}
+	for a := 0; a < 32; a++ {
+		_, jerr := wrapped(context.Background(), 0)
+		saw[jerr != nil] = true
+	}
+	if !saw[true] || !saw[false] {
+		t.Errorf("32 attempts at rate 0.5 all agreed: %v", saw)
+	}
+}
+
+func TestSplitSeedDecorrelatesStrata(t *testing.T) {
+	cfg := Config{ErrorRate: 0.5, Seed: 9}
+	a, b := cfg.SplitSeed(0), cfg.SplitSeed(1)
+	if a.Seed == b.Seed || a.Seed == cfg.Seed {
+		t.Errorf("strata share seeds: base %d, split %d / %d", cfg.Seed, a.Seed, b.Seed)
+	}
+	if a != cfg.SplitSeed(0) {
+		t.Error("SplitSeed not deterministic")
+	}
+	disabled := Config{Seed: 9}
+	if disabled.SplitSeed(3) != disabled {
+		t.Error("disabled config was re-seeded")
+	}
+}
+
+func TestStragglerDelayShape(t *testing.T) {
+	mean := 100 * time.Millisecond
+	if d := stragglerDelay(mean, 0); d != 0 {
+		t.Errorf("u=0 delay %v, want 0", d)
+	}
+	if d := stragglerDelay(mean, 0.9999999999999); d != 8*mean {
+		t.Errorf("extreme draw delay %v, want the 8x-mean cap %v", d, 8*mean)
+	}
+	// ln(2) quantile: median of the exponential distribution is mean*ln 2.
+	if d := stragglerDelay(mean, 0.5); d < 60*time.Millisecond || d > 80*time.Millisecond {
+		t.Errorf("median delay %v, want ~%v", d, time.Duration(float64(mean)*0.6931))
+	}
+}

@@ -11,9 +11,12 @@
 //   - bounded: at most Workers jobs run at once (default GOMAXPROCS),
 //   - deterministic: results are returned in submission order, so output
 //     bytes never depend on scheduling,
-//   - accounted: every job records queue wait and execution wall time,
+//   - accounted: every job records queue wait, execution wall time and how
+//     many attempts it took,
 //   - fail-soft: one failing job does not abort the grid — all errors are
 //     collected and returned aggregated, alongside every completed result,
+//   - fault-tolerant: MapPolicy retries failing jobs with exponential
+//     backoff and deterministic seeded jitter, under per-attempt deadlines,
 //   - cancellable: a context cancels jobs that have not started.
 package runner
 
@@ -24,6 +27,8 @@ import (
 	"runtime"
 	"sync"
 	"time"
+
+	"zatel/internal/vecmath"
 )
 
 // Result records one job's outcome and timing.
@@ -32,14 +37,18 @@ type Result[T any] struct {
 	Index int
 	// Value is fn's return value (zero when Err != nil).
 	Value T
-	// Err is the job's error, the recovered panic, or the context error for
-	// jobs cancelled before they started.
+	// Err is the job's final error after all attempts, the recovered panic,
+	// or the context error for jobs cancelled before they started.
 	Err error
 	// QueueTime is how long the job waited between submission and the
 	// moment a worker picked it up.
 	QueueTime time.Duration
-	// WallTime is the job's execution time (zero for cancelled jobs).
+	// WallTime is the job's worker occupancy: all attempts plus the backoff
+	// waits between them (zero for cancelled jobs).
 	WallTime time.Duration
+	// Attempts counts how many times the job ran (zero for jobs cancelled
+	// before they started).
+	Attempts int
 }
 
 // JobError ties a failed job's index to its cause; Map aggregates these
@@ -65,6 +74,64 @@ func PoolSize(workers int) int {
 	return workers
 }
 
+// ErrPermanent marks an error retries cannot fix; MapPolicy stops retrying
+// a job whose error wraps it.
+var ErrPermanent = errors.New("runner: permanent failure")
+
+// Permanent wraps err so MapPolicy fails the job immediately instead of
+// burning its remaining attempts. A nil err stays nil.
+func Permanent(err error) error {
+	if err == nil {
+		return nil
+	}
+	return fmt.Errorf("%w: %w", ErrPermanent, err)
+}
+
+// Policy configures MapPolicy's scheduling and per-job fault tolerance.
+// The zero value reproduces Map: a GOMAXPROCS-sized pool, one attempt per
+// job, no deadline.
+type Policy struct {
+	// Workers bounds the pool (see PoolSize).
+	Workers int
+	// MaxAttempts is the total number of times a failing job may run
+	// (values <= 1 mean no retries).
+	MaxAttempts int
+	// Backoff is the wait before the second attempt; it doubles for every
+	// further attempt. 0 retries immediately.
+	Backoff time.Duration
+	// MaxBackoff caps the exponential growth (0 = no cap).
+	MaxBackoff time.Duration
+	// JitterSeed roots the deterministic backoff jitter: each wait is
+	// stretched by up to 50%, keyed by (JitterSeed, index, attempt), so
+	// retries de-synchronise identically on every run instead of drawing
+	// from wall-clock randomness.
+	JitterSeed uint64
+	// Timeout is the per-attempt deadline, enforced through the context the
+	// attempt receives (0 = none). Jobs must honour their ctx for the
+	// deadline to interrupt them; the attempt is failed and retried either
+	// way once it returns.
+	Timeout time.Duration
+}
+
+// backoffDelay computes the wait between attempt and attempt+1 of job
+// index: Backoff doubled per completed attempt, capped at MaxBackoff, plus
+// up to 50% seeded jitter.
+func (p Policy) backoffDelay(index, attempt int) time.Duration {
+	if p.Backoff <= 0 {
+		return 0
+	}
+	exp := attempt - 1
+	if exp > 20 { // 2^20 * Backoff is already beyond any sane deadline
+		exp = 20
+	}
+	d := p.Backoff << uint(exp)
+	if p.MaxBackoff > 0 && d > p.MaxBackoff {
+		d = p.MaxBackoff
+	}
+	rng := vecmath.NewRNG(p.JitterSeed).Split(uint64(index)).Split(uint64(attempt))
+	return d + time.Duration(rng.Float64()*0.5*float64(d))
+}
+
 // Map runs fn(ctx, i) for every i in [0, n) on a pool of at most
 // PoolSize(workers) goroutines and returns the n results in submission
 // order. It always returns the full result slice; the returned error is the
@@ -74,6 +141,16 @@ func PoolSize(workers int) int {
 // A panicking job is captured as that job's error rather than crashing the
 // pool.
 func Map[T any](ctx context.Context, n, workers int, fn func(ctx context.Context, index int) (T, error)) ([]Result[T], error) {
+	return MapPolicy(ctx, n, Policy{Workers: workers}, fn)
+}
+
+// MapPolicy is Map with per-job fault tolerance: each failing job is
+// retried up to Policy.MaxAttempts times under Policy.Timeout per-attempt
+// deadlines, with exponential backoff and seeded jitter between attempts.
+// Retries happen in-place on the job's worker, so result ordering stays
+// deterministic by submission index. Errors wrapping ErrPermanent, and
+// parent-context cancellation, stop a job's retries immediately.
+func MapPolicy[T any](ctx context.Context, n int, p Policy, fn func(ctx context.Context, index int) (T, error)) ([]Result[T], error) {
 	if n < 0 {
 		return nil, fmt.Errorf("runner: negative job count %d", n)
 	}
@@ -91,7 +168,7 @@ func Map[T any](ctx context.Context, n, workers int, fn func(ctx context.Context
 		return results, nil
 	}
 
-	workers = PoolSize(workers)
+	workers := PoolSize(p.Workers)
 	if workers > n {
 		workers = n
 	}
@@ -111,7 +188,7 @@ func Map[T any](ctx context.Context, n, workers int, fn func(ctx context.Context
 					continue
 				}
 				start := time.Now()
-				r.Value, r.Err = runJob(ctx, i, fn)
+				r.Value, r.Attempts, r.Err = runAttempts(ctx, p, i, fn)
 				r.WallTime = time.Since(start)
 			}
 		}()
@@ -142,6 +219,42 @@ feed:
 	return results, errors.Join(errs...)
 }
 
+// runAttempts drives one job through the policy's retry loop and reports
+// the value, the number of attempts consumed, and the final error (nil on
+// success). The retry loop stops early on ErrPermanent-wrapped errors and
+// on parent-context cancellation; on failure the returned value is zero.
+func runAttempts[T any](ctx context.Context, p Policy, i int, fn func(context.Context, int) (T, error)) (T, int, error) {
+	max := p.MaxAttempts
+	if max < 1 {
+		max = 1
+	}
+	var zero T
+	for attempt := 1; ; attempt++ {
+		attemptCtx, cancel := ctx, context.CancelFunc(func() {})
+		if p.Timeout > 0 {
+			attemptCtx, cancel = context.WithTimeout(ctx, p.Timeout)
+		}
+		v, err := runJob(attemptCtx, i, fn)
+		timedOut := attemptCtx.Err() != nil && ctx.Err() == nil
+		cancel()
+		if err == nil {
+			return v, attempt, nil
+		}
+		if timedOut && errors.Is(err, context.DeadlineExceeded) {
+			err = fmt.Errorf("runner: job %d attempt %d exceeded %v deadline: %w",
+				i, attempt, p.Timeout, err)
+		}
+		if attempt >= max || errors.Is(err, ErrPermanent) || ctx.Err() != nil {
+			return zero, attempt, err
+		}
+		if !sleep(ctx, p.backoffDelay(i, attempt)) {
+			// Cancelled during backoff: the consumed attempts stand, the
+			// job keeps its real error rather than the context's.
+			return zero, attempt, err
+		}
+	}
+}
+
 // runJob invokes fn with panic capture so one bad job cannot take down the
 // whole pool (fail-soft, like any other job error).
 func runJob[T any](ctx context.Context, i int, fn func(context.Context, int) (T, error)) (v T, err error) {
@@ -151,6 +264,21 @@ func runJob[T any](ctx context.Context, i int, fn func(context.Context, int) (T,
 		}
 	}()
 	return fn(ctx, i)
+}
+
+// sleep waits d honouring ctx; it reports false when ctx fired first.
+func sleep(ctx context.Context, d time.Duration) bool {
+	if d <= 0 {
+		return ctx.Err() == nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
 }
 
 // Totals sums the per-job execution times and reports the slowest single
