@@ -1,0 +1,152 @@
+// Cold-vs-warm serving benchmarks for the zateld artifact store: the same
+// POST /v1/predict request through internal/service, first forcing a full
+// pipeline build and then hitting the content-addressed cache. The paper's
+// serving claim (a warm repeat skips tracing, quantization and the group
+// simulations entirely) is asserted by TestWarmStoreSpeedup, which also
+// emits machine-readable numbers when ZATEL_BENCH_STORE_JSON names a path.
+package zatel_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"zatel/internal/service"
+	"zatel/internal/store"
+)
+
+// storeBenchBody is the canonical request used by every store benchmark.
+// The resolution is unique to this file so the first request through a
+// fresh store always pays the full pipeline, whatever else the test binary
+// has already cached.
+func storeBenchBody(seed uint64) string {
+	return fmt.Sprintf(`{"scene":"PARK","config":"mobile","width":120,"height":120,"spp":1,"seed":%d}`, seed)
+}
+
+func newStoreBenchServer(tb testing.TB) *httptest.Server {
+	tb.Helper()
+	srv := service.New(service.Config{Store: store.New(0), Parallel: true})
+	ts := httptest.NewServer(srv.Handler())
+	tb.Cleanup(ts.Close)
+	return ts
+}
+
+// timedPredict posts body to the server and returns the elapsed wall time
+// plus the decoded response.
+func timedPredict(tb testing.TB, ts *httptest.Server, body string) (time.Duration, *service.PredictResponse) {
+	tb.Helper()
+	start := time.Now()
+	resp, err := http.Post(ts.URL+"/v1/predict", "application/json", strings.NewReader(body))
+	if err != nil {
+		tb.Fatalf("POST /v1/predict: %v", err)
+	}
+	defer resp.Body.Close()
+	elapsed := time.Since(start)
+	if resp.StatusCode != http.StatusOK {
+		tb.Fatalf("POST /v1/predict: status %d", resp.StatusCode)
+	}
+	var pr service.PredictResponse
+	if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+		tb.Fatalf("decode response: %v", err)
+	}
+	return elapsed, &pr
+}
+
+// BenchmarkPredictCold measures the full build path: every iteration runs
+// against a fresh artifact store, so quantization and all K group
+// simulations execute (the workload trace may persist in the process-wide
+// store — the steady-state "cold prediction" a long-lived daemon serves).
+func BenchmarkPredictCold(b *testing.B) {
+	body := storeBenchBody(101)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		ts := newStoreBenchServer(b)
+		b.StartTimer()
+		d, pr := timedPredict(b, ts, body)
+		if pr.Cache != "miss" {
+			b.Fatalf("cold request served as %q, want miss", pr.Cache)
+		}
+		b.ReportMetric(float64(d.Milliseconds()), "ms/req")
+		b.StopTimer()
+		ts.Close()
+		b.StartTimer()
+	}
+}
+
+// BenchmarkPredictWarm measures the cache-hit path: one server, one primed
+// store, repeated identical requests.
+func BenchmarkPredictWarm(b *testing.B) {
+	body := storeBenchBody(102)
+	ts := newStoreBenchServer(b)
+	if _, pr := timedPredict(b, ts, body); pr.Cache != "miss" {
+		b.Fatalf("priming request served as %q, want miss", pr.Cache)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, pr := timedPredict(b, ts, body); pr.Cache != "hit" {
+			b.Fatalf("warm request served as %q, want hit", pr.Cache)
+		}
+	}
+}
+
+// TestWarmStoreSpeedup asserts the acceptance criterion: a warm repeat of
+// an identical request must be at least 10x faster than the cold build.
+// Warm time is the minimum over several repeats so scheduler noise cannot
+// fail the run; the cold time is a single honest measurement.
+func TestWarmStoreSpeedup(t *testing.T) {
+	body := storeBenchBody(103)
+	ts := newStoreBenchServer(t)
+
+	cold, pr := timedPredict(t, ts, body)
+	if pr.Cache != "miss" {
+		t.Fatalf("first request served as %q, want miss", pr.Cache)
+	}
+	key := pr.Key
+
+	warm := time.Duration(1<<62 - 1)
+	for i := 0; i < 10; i++ {
+		d, pr := timedPredict(t, ts, body)
+		if pr.Cache != "hit" {
+			t.Fatalf("repeat %d served as %q, want hit", i, pr.Cache)
+		}
+		if pr.Key != key {
+			t.Fatalf("repeat %d key %s != cold key %s", i, pr.Key, key)
+		}
+		if d < warm {
+			warm = d
+		}
+	}
+
+	speedup := float64(cold) / float64(warm)
+	t.Logf("cold %v, warm %v, speedup %.1fx", cold, warm, speedup)
+	if speedup < 10 {
+		t.Errorf("warm repeat only %.1fx faster than cold build (want >= 10x): cold %v, warm %v",
+			speedup, cold, warm)
+	}
+
+	if path := os.Getenv("ZATEL_BENCH_STORE_JSON"); path != "" {
+		out := map[string]any{
+			"scene":   "PARK",
+			"width":   120,
+			"height":  120,
+			"spp":     1,
+			"cold_ms": float64(cold) / 1e6,
+			"warm_ms": float64(warm) / 1e6,
+			"speedup": speedup,
+		}
+		data, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			t.Fatalf("marshal bench json: %v", err)
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			t.Fatalf("write %s: %v", path, err)
+		}
+	}
+}

@@ -15,3 +15,7 @@ go test -race -timeout 10m ./...
 go test -race -short -timeout 5m \
 	-run 'Fault|Inject|Degraded|Quorum|Retr|Policy|Straggl|Backoff' \
 	./internal/faults/ ./internal/runner/ ./internal/core/ ./internal/experiments/
+
+# zateld end-to-end smoke: boot the daemon, serve a cold prediction, assert
+# the identical repeat is a store hit via /metrics, SIGTERM-drain cleanly.
+./scripts/smoke_zateld.sh

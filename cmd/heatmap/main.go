@@ -10,10 +10,14 @@ package main
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"zatel/internal/heatmap"
 	"zatel/internal/partition"
@@ -36,8 +40,17 @@ func main() {
 	)
 	flag.Parse()
 
-	wl, err := rt.CachedWorkload(*sceneName, *res, *res, *spp)
+	// SIGINT/SIGTERM cancel the path trace between rows; no partial image
+	// is written and we exit 130 like the other CLIs.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	wl, err := rt.CachedWorkloadContext(ctx, *sceneName, *res, *res, *spp)
 	if err != nil {
+		if ctx.Err() != nil || errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "heatmap: interrupted")
+			os.Exit(130)
+		}
 		fatal(err)
 	}
 	hm, err := heatmap.FromCost(wl.Cost, wl.Width, wl.Height)

@@ -8,10 +8,14 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"zatel/internal/config"
 	"zatel/internal/core"
@@ -32,8 +36,19 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	rep, err := core.Reference(cfg, *sceneName, *res, *res, *spp)
+
+	// SIGINT/SIGTERM cancel the workload build (between rows) and abort
+	// before the cycle-level replay launches; we exit 130 like the other
+	// CLIs.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	rep, err := core.ReferenceContext(ctx, cfg, *sceneName, *res, *res, *spp)
 	if err != nil {
+		if ctx.Err() != nil || errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "simrt: interrupted")
+			os.Exit(130)
+		}
 		fatal(err)
 	}
 

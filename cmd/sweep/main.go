@@ -29,6 +29,7 @@ import (
 	"zatel/internal/experiments"
 	"zatel/internal/faults"
 	"zatel/internal/scene"
+	"zatel/internal/store"
 )
 
 func main() {
@@ -37,7 +38,8 @@ func main() {
 		spp     = flag.Int("spp", 1, "samples per pixel")
 		cfgName = flag.String("config", "rtx2060", "config for per-config sweeps (mobile or rtx2060)")
 		reps    = flag.Int("reps", 5, "random-selection repetitions for table3")
-		workers = flag.Int("workers", 0, "experiment-grid worker pool size (0 = one per CPU core, 1 = serial)")
+		workers   = flag.Int("workers", 0, "experiment-grid worker pool size (0 = one per CPU core, 1 = serial)")
+		storeSize = flag.String("store-size", "0", "artifact store byte budget, e.g. 256MiB (0 = unbounded)")
 
 		attempts   = flag.Int("attempts", 1, "max attempts per group instance (retries on failure)")
 		backoff    = flag.Duration("retry-backoff", 0, "base backoff between attempts (doubles, seeded jitter)")
@@ -54,6 +56,15 @@ func main() {
 	if flag.NArg() != 1 {
 		usage()
 	}
+
+	// Workload traces and quantized heatmaps are shared across every grid
+	// point through the process-wide artifact store; -store-size bounds
+	// its memory on hosts that cannot hold every scene's trace at once.
+	budget, err := store.ParseSize(*storeSize)
+	if err != nil {
+		fatal(err)
+	}
+	store.Default().SetMaxBytes(budget)
 
 	// SIGINT/SIGTERM cancel the grids; already-collected cells still render
 	// (cancelled ones as ERR) before we exit 130.

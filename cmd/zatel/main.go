@@ -26,6 +26,7 @@ import (
 	"zatel/internal/metrics"
 	"zatel/internal/sampling"
 	"zatel/internal/scene"
+	"zatel/internal/store"
 )
 
 func main() {
@@ -45,6 +46,7 @@ func main() {
 		seed       = flag.Uint64("seed", 1, "selection randomness seed")
 		parallel   = flag.Bool("parallel", false, "run the K group instances on the worker pool")
 		workers    = flag.Int("workers", 0, "pool size with -parallel (0 = one per CPU core)")
+		storeSize  = flag.String("store-size", "0", "artifact store byte budget, e.g. 256MiB (0 = unbounded)")
 
 		attempts   = flag.Int("attempts", 1, "max attempts per group instance (retries on failure)")
 		backoff    = flag.Duration("retry-backoff", 0, "base backoff between attempts (doubles, seeded jitter)")
@@ -58,6 +60,14 @@ func main() {
 		injSeed     = flag.Uint64("inject-seed", 1, "fault injection: decision seed")
 	)
 	flag.Parse()
+
+	// The workload trace, quantized heatmap and any repeat predictions all
+	// flow through the process-wide artifact store; -store-size bounds it.
+	budget, err := store.ParseSize(*storeSize)
+	if err != nil {
+		fatal(err)
+	}
+	store.Default().SetMaxBytes(budget)
 
 	cfg, err := configByName(*cfgName)
 	if err != nil {

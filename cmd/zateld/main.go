@@ -1,0 +1,107 @@
+// Command zateld is the Zatel prediction daemon: a long-lived HTTP service
+// that amortises the expensive pipeline stages across requests through the
+// content-addressed artifact store, coalesces concurrent identical
+// requests onto one pipeline execution, bounds concurrent builds with an
+// admission semaphore, and drains gracefully on SIGINT/SIGTERM.
+//
+// Usage:
+//
+//	zateld -addr :8080 -store-size 512MiB -max-concurrent 8
+//
+//	curl -s -X POST localhost:8080/v1/predict \
+//	    -d '{"scene":"PARK","config":"mobile","width":128,"height":128,"spp":2}'
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"zatel/internal/service"
+	"zatel/internal/store"
+)
+
+func main() {
+	var (
+		addr          = flag.String("addr", ":8080", "listen address")
+		storeSize     = flag.String("store-size", "512MiB", "artifact store byte budget (0 = unbounded)")
+		maxConcurrent = flag.Int("max-concurrent", 0, "max predictions building at once (0 = one per CPU core)")
+		maxQueue      = flag.Int("max-queue", 0, "max builders waiting for a slot before 503 (0 = 4x max-concurrent)")
+		defTimeout    = flag.Duration("default-timeout", 60*time.Second, "per-request deadline when the request names none")
+		maxTimeout    = flag.Duration("max-timeout", 10*time.Minute, "hard cap on client-requested deadlines")
+		drainTimeout  = flag.Duration("drain-timeout", 30*time.Second, "how long to wait for in-flight requests on shutdown")
+		parallel      = flag.Bool("parallel", true, "run each prediction's K group instances on the worker pool")
+		workers       = flag.Int("workers", 0, "group-instance pool size with -parallel (0 = one per CPU core)")
+	)
+	flag.Parse()
+
+	budget, err := store.ParseSize(*storeSize)
+	if err != nil {
+		log.Fatalf("zateld: %v", err)
+	}
+	// One store for everything: workload traces and quantized heatmaps land
+	// in the process-wide default store anyway, so budgeting that same
+	// store puts predictions and their inputs under one LRU.
+	st := store.Default()
+	st.SetMaxBytes(budget)
+
+	srv := service.New(service.Config{
+		Store:          st,
+		MaxConcurrent:  *maxConcurrent,
+		MaxQueue:       *maxQueue,
+		DefaultTimeout: *defTimeout,
+		MaxTimeout:     *maxTimeout,
+		Parallel:       *parallel,
+		Workers:        *workers,
+	})
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	// SIGINT/SIGTERM start the drain: health flips to 503 so load
+	// balancers stop routing here, new predictions are refused, and
+	// in-flight requests get drain-timeout to finish.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("zateld: listening on %s (store budget %s, %d slots)",
+			*addr, *storeSize, effectiveSlots(*maxConcurrent))
+		errCh <- hs.ListenAndServe()
+	}()
+
+	select {
+	case <-ctx.Done():
+		log.Printf("zateld: signal received, draining (up to %v)", *drainTimeout)
+		srv.SetDraining(true)
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := hs.Shutdown(shutdownCtx); err != nil {
+			log.Printf("zateld: drain incomplete: %v", err)
+			os.Exit(1)
+		}
+		log.Printf("zateld: drained cleanly")
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatalf("zateld: %v", err)
+		}
+	}
+}
+
+// effectiveSlots reports the admission capacity for the startup log.
+func effectiveSlots(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}

@@ -7,6 +7,8 @@ package config
 
 import (
 	"fmt"
+
+	"zatel/internal/store"
 )
 
 // SchedulerKind selects the SM warp scheduling policy.
@@ -208,6 +210,28 @@ func (c Config) Validate() error {
 		return fmt.Errorf("config %s: negative DRAMRowMissLat", c.Name)
 	}
 	return nil
+}
+
+// KeyTo appends every simulation-relevant field to an artifact-store key in
+// declaration order. Name is included: it tags derived configs ("RTX2060/6")
+// and costs nothing, while all the numeric fields are what actually
+// determine simulator output. Adding a Config field means adding it here —
+// the golden digest test in internal/core pins the encoding.
+func (c Config) KeyTo(k *store.Key) *store.Key {
+	k.Str("cfg", c.Name)
+	k.Int("sms", c.NumSMs).Int("warps", c.MaxWarpsPerSM).Int("wsz", c.WarpSize)
+	k.Int("regs", c.RegistersPerSM).Int("issue", c.IssuePerCycle).Int("sched", int(c.Scheduler))
+	k.Int("rtu", c.RTUnitsPerSM).Int("rtw", c.RTMaxWarps).Int("rtmshr", c.RTMSHRSize)
+	k.Int("rtbox", c.RTBoxCycles).Int("rttri", c.RTTriCycles).Int("rtrays", c.RTRaysPerCycle)
+	k.Int("l1b", c.L1DBytes).Int("l1a", c.L1DAssoc).Int("l1lat", c.L1DLatency)
+	k.Int("l1mshr", c.L1DMSHRs).Int("line", c.LineBytes)
+	k.Int("parts", c.NumMemPartitions).Int("l2b", c.TotalL2Bytes).Int("l2a", c.L2Assoc)
+	k.Int("l2lat", c.L2Latency).Int("l2mshr", c.L2MSHRs)
+	k.Int("noc", c.NoCLatency)
+	k.Int("cclk", c.CoreClockMHz).Int("mclk", c.MemClockMHz)
+	k.Int("bus", c.DRAMBusBytes).Int("row", c.DRAMRowBytes)
+	k.Int("rowmiss", c.DRAMRowMissLat).Int("dramq", c.DRAMQueueDepth)
+	return k
 }
 
 // DownscaleFactor returns Zatel's scaling factor for this configuration:

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sync"
 	"time"
 
@@ -19,6 +20,14 @@ import (
 // recorded WallTime is always the original simulation time, so speedup
 // measurements stay honest).
 func Reference(cfgFull config.Config, sceneName string, width, height, spp int) (metrics.Report, error) {
+	return ReferenceContext(context.Background(), cfgFull, sceneName, width, height, spp)
+}
+
+// ReferenceContext is Reference honouring ctx: cancellation interrupts the
+// workload build between rows and is checked again before the full
+// simulation starts (the cycle-level replay itself runs to completion once
+// launched).
+func ReferenceContext(ctx context.Context, cfgFull config.Config, sceneName string, width, height, spp int) (metrics.Report, error) {
 	key := refKey{cfg: cfgFull, scene: sceneName, w: width, h: height, spp: spp}
 	refMu.Lock()
 	if rep, ok := refCache[key]; ok {
@@ -27,8 +36,11 @@ func Reference(cfgFull config.Config, sceneName string, width, height, spp int) 
 	}
 	refMu.Unlock()
 
-	wl, err := rt.CachedWorkload(sceneName, width, height, spp)
+	wl, err := rt.CachedWorkloadContext(ctx, sceneName, width, height, spp)
 	if err != nil {
+		return metrics.Report{}, err
+	}
+	if err := ctx.Err(); err != nil {
 		return metrics.Report{}, err
 	}
 	start := time.Now()

@@ -1,6 +1,7 @@
 package rt
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -8,6 +9,7 @@ import (
 
 	"zatel/internal/bvh"
 	"zatel/internal/scene"
+	"zatel/internal/store"
 	"zatel/internal/vecmath"
 )
 
@@ -30,11 +32,43 @@ type Workload struct {
 // Pixels returns Width·Height.
 func (w *Workload) Pixels() int { return w.Width * w.Height }
 
+// SizeBytes approximates the workload's resident size for the artifact
+// store's byte accounting: the trace slices dominate (ops, rays, traversal
+// steps), plus the per-pixel cost array. The BVH and scene are shared with
+// other consumers and counted once here anyway, since the workload keeps
+// them alive.
+func (w *Workload) SizeBytes() int64 {
+	const (
+		opBytes   = 8  // Op{Kind uint8, Arg uint32} padded
+		rayBytes  = 32 // RayTrace header incl. slice header
+		stepBytes = 4
+	)
+	n := int64(len(w.Cost)) * 8
+	for i := range w.Traces {
+		t := &w.Traces[i]
+		n += int64(len(t.Ops)) * opBytes
+		n += int64(len(t.Rays)) * rayBytes
+		for j := range t.Rays {
+			n += int64(len(t.Rays[j].Steps)) * stepBytes
+		}
+	}
+	if w.BVH != nil {
+		n += int64(len(w.BVH.Nodes))*64 + int64(len(w.BVH.Tris))*64
+	}
+	return n
+}
+
 // BuildWorkload path-traces every pixel of the scene at the given
 // resolution and samples-per-pixel, recording traces. It parallelises
 // across rows; results are deterministic regardless of parallelism because
 // every pixel's randomness is derived from (scene seed, pixel, sample).
 func BuildWorkload(s *scene.Scene, width, height, spp int) (*Workload, error) {
+	return BuildWorkloadContext(context.Background(), s, width, height, spp)
+}
+
+// BuildWorkloadContext is BuildWorkload honouring ctx: cancellation stops
+// the trace between rows and returns ctx's error instead of a workload.
+func BuildWorkloadContext(ctx context.Context, s *scene.Scene, width, height, spp int) (*Workload, error) {
 	if width <= 0 || height <= 0 || spp <= 0 {
 		return nil, fmt.Errorf("rt: invalid dimensions %dx%d spp=%d", width, height, spp)
 	}
@@ -85,11 +119,19 @@ func BuildWorkload(s *scene.Scene, width, height, spp int) (*Workload, error) {
 			}
 		}()
 	}
+feed:
 	for y := 0; y < height; y++ {
-		rows <- y
+		select {
+		case rows <- y:
+		case <-ctx.Done():
+			break feed
+		}
 	}
 	close(rows)
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	return w, nil
 }
 
@@ -198,74 +240,51 @@ func (tr *tracer) tracePixel(x, y, width, height, spp int, rng *vecmath.RNG) Thr
 	return t
 }
 
-// workloadKey identifies a cached workload.
-type workloadKey struct {
-	scene string
-	w, h  int
-	spp   int
+// WorkloadKey is the content address of a functional trace: the workload
+// is fully determined by (scene name, resolution, spp) because every
+// pixel's randomness derives from the scene seed. Downstream artifacts
+// (quantized heatmaps, predictions) embed this digest in their own keys.
+func WorkloadKey(name string, width, height, spp int) store.Digest {
+	return store.NewKey("workload/v1").Str("scene", name).
+		Int("w", width).Int("h", height).Int("spp", spp).Digest()
 }
 
-var workloadCache sync.Map // workloadKey -> *Workload
-
-// inflightBuild is a singleflight slot: the first caller for a key builds,
-// everyone else waits on done and reads the shared outcome.
-type inflightBuild struct {
-	done chan struct{}
-	w    *Workload
-	err  error
-}
-
-var (
-	inflightMu sync.Mutex
-	inflight   = map[workloadKey]*inflightBuild{}
-	// buildCount tallies actual BuildWorkload executions through the cache;
-	// tests use it to prove concurrent callers share one build.
-	buildCount atomic.Int64
-)
+// buildCount tallies actual BuildWorkload executions through the cache;
+// tests use it to prove concurrent callers share one build.
+var buildCount atomic.Int64
 
 // CachedWorkload returns the workload for a library scene, building and
-// memoising it on first use. Experiments re-trace the same frames dozens of
-// times; the cache makes the functional trace a one-time cost, mirroring how
-// Zatel profiles a scene once and reuses the result.
+// memoising it in the process-wide artifact store (store.Default) on first
+// use. Experiments re-trace the same frames dozens of times; the store
+// makes the functional trace a one-time cost, mirroring how Zatel profiles
+// a scene once and reuses the result.
 //
-// The build itself is deduplicated singleflight-style: concurrent callers
-// for the same key share one BuildWorkload execution instead of each paying
-// the full path-trace cost. Failed builds are not cached, so a later call
-// retries.
+// The build is coalesced by the store: concurrent callers for the same key
+// share one BuildWorkload execution instead of each paying the full
+// path-trace cost. Failed builds are not cached, so a later call retries.
 func CachedWorkload(name string, width, height, spp int) (*Workload, error) {
-	key := workloadKey{scene: name, w: width, h: height, spp: spp}
-	if v, ok := workloadCache.Load(key); ok {
-		return v.(*Workload), nil
-	}
+	return CachedWorkloadContext(context.Background(), name, width, height, spp)
+}
 
-	inflightMu.Lock()
-	// Re-check under the lock: a builder may have finished between the
-	// lock-free lookup and here.
-	if v, ok := workloadCache.Load(key); ok {
-		inflightMu.Unlock()
-		return v.(*Workload), nil
+// CachedWorkloadContext is CachedWorkload honouring ctx: cancellation
+// interrupts both a build this caller runs and a wait on another caller's
+// in-flight build (which keeps running for the callers still interested).
+func CachedWorkloadContext(ctx context.Context, name string, width, height, spp int) (*Workload, error) {
+	v, _, err := store.Default().GetOrBuild(ctx, WorkloadKey(name, width, height, spp),
+		func(ctx context.Context) (any, int64, error) {
+			buildCount.Add(1)
+			s, err := scene.ByName(name)
+			if err != nil {
+				return nil, 0, err
+			}
+			w, err := BuildWorkloadContext(ctx, s, width, height, spp)
+			if err != nil {
+				return nil, 0, err
+			}
+			return w, w.SizeBytes(), nil
+		})
+	if err != nil {
+		return nil, err
 	}
-	if f, ok := inflight[key]; ok {
-		inflightMu.Unlock()
-		<-f.done
-		return f.w, f.err
-	}
-	f := &inflightBuild{done: make(chan struct{})}
-	inflight[key] = f
-	inflightMu.Unlock()
-
-	buildCount.Add(1)
-	if s, err := scene.ByName(name); err != nil {
-		f.err = err
-	} else {
-		f.w, f.err = BuildWorkload(s, width, height, spp)
-	}
-	if f.err == nil {
-		workloadCache.Store(key, f.w)
-	}
-	inflightMu.Lock()
-	delete(inflight, key)
-	inflightMu.Unlock()
-	close(f.done)
-	return f.w, f.err
+	return v.(*Workload), nil
 }

@@ -1,6 +1,8 @@
 package rt
 
 import (
+	"context"
+	"errors"
 	"sync"
 	"testing"
 )
@@ -48,6 +50,25 @@ func TestCachedWorkloadSingleflight(t *testing.T) {
 	}
 	if builds := buildCount.Load() - before; builds != 1 {
 		t.Errorf("warm call rebuilt: %d builds total", builds)
+	}
+}
+
+// TestCachedWorkloadContextCancelled: a pre-cancelled context aborts the
+// build with the context's error, and the failure is not cached — a later
+// call with a live context builds normally.
+func TestCachedWorkloadContextCancelled(t *testing.T) {
+	const w, h, spp = 31, 29, 1 // unique dims: no other test shares this key
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := CachedWorkloadContext(ctx, "SPRNG", w, h, spp); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled build: err = %v, want context.Canceled", err)
+	}
+	wl, err := CachedWorkloadContext(context.Background(), "SPRNG", w, h, spp)
+	if err != nil || wl == nil {
+		t.Fatalf("retry after cancellation: %v", err)
+	}
+	if wl.SizeBytes() <= 0 {
+		t.Errorf("SizeBytes() = %d, want positive", wl.SizeBytes())
 	}
 }
 

@@ -1,0 +1,62 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// latencyBuckets are the histogram upper bounds in seconds, spanning the
+// range a prediction can take: a warm store hit lands in the sub-millisecond
+// buckets, a cold 256×256 regression run in the tens of seconds.
+var latencyBuckets = []float64{
+	.0005, .001, .005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10, 30, 60,
+}
+
+// histogram is a fixed-bucket latency histogram with lock-free observation,
+// exposed in Prometheus text format. Counts per bucket are non-cumulative
+// internally and summed cumulatively at exposition time, as the format
+// requires.
+type histogram struct {
+	counts []atomic.Uint64 // len(latencyBuckets)+1; last is +Inf
+	count  atomic.Uint64
+	sumNs  atomic.Int64
+}
+
+func newHistogram() *histogram {
+	return &histogram{counts: make([]atomic.Uint64, len(latencyBuckets)+1)}
+}
+
+func (h *histogram) observe(d time.Duration) {
+	s := d.Seconds()
+	i := 0
+	for i < len(latencyBuckets) && s > latencyBuckets[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sumNs.Add(int64(d))
+}
+
+// writeProm emits the histogram under the given metric name with one fixed
+// label pair, e.g. writeProm(w, "zatel_stage_latency_seconds", `stage="build"`).
+func (h *histogram) writeProm(w io.Writer, name, label string) {
+	var cum uint64
+	for i, ub := range latencyBuckets {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(w, "%s_bucket{%s,le=%q} %d\n", name, label, formatBound(ub), cum)
+	}
+	cum += h.counts[len(latencyBuckets)].Load()
+	fmt.Fprintf(w, "%s_bucket{%s,le=\"+Inf\"} %d\n", name, label, cum)
+	fmt.Fprintf(w, "%s_sum{%s} %g\n", name, label, float64(h.sumNs.Load())/1e9)
+	fmt.Fprintf(w, "%s_count{%s} %d\n", name, label, h.count.Load())
+}
+
+func formatBound(ub float64) string {
+	if ub == math.Trunc(ub) {
+		return fmt.Sprintf("%g", ub)
+	}
+	return fmt.Sprintf("%v", ub)
+}

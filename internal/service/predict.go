@@ -1,0 +1,311 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"zatel/internal/config"
+	"zatel/internal/core"
+	"zatel/internal/metrics"
+	"zatel/internal/sampling"
+	"zatel/internal/scene"
+)
+
+// PredictRequest is the POST /v1/predict body. Zero values select the
+// paper's defaults (128×128, 2 spp, fine division, uniform distribution,
+// Eq. 1 budget, seed 1).
+type PredictRequest struct {
+	Scene  string `json:"scene"`
+	Config string `json:"config"`
+	Width  int    `json:"width"`
+	Height int    `json:"height"`
+	SPP    int    `json:"spp"`
+
+	Division    string  `json:"division,omitempty"`
+	Dist        string  `json:"dist,omitempty"`
+	Percent     float64 `json:"percent,omitempty"`
+	MaxPercent  float64 `json:"max_percent,omitempty"`
+	K           int     `json:"k,omitempty"`
+	NoDownscale bool    `json:"no_downscale,omitempty"`
+	Regression  bool    `json:"regression,omitempty"`
+	QuantLevels int     `json:"quant_levels,omitempty"`
+	Seed        uint64  `json:"seed,omitempty"`
+
+	Attempts int `json:"attempts,omitempty"`
+	Quorum   int `json:"quorum,omitempty"`
+	// TimeoutMs is this request's whole-prediction deadline; absent or 0
+	// selects the server default and values above the server maximum clamp.
+	TimeoutMs int `json:"timeout_ms,omitempty"`
+}
+
+// GroupInfo summarises one group run for the response.
+type GroupInfo struct {
+	Pixels   int     `json:"pixels"`
+	Selected int     `json:"selected"`
+	Fraction float64 `json:"fraction"`
+	Attempts int     `json:"attempts"`
+	Cycles   uint64  `json:"cycles"`
+	Error    string  `json:"error,omitempty"`
+}
+
+// DegradedInfo reports a prediction that lost groups but met quorum.
+type DegradedInfo struct {
+	FailedGroups []int  `json:"failed_groups"`
+	Quorum       int    `json:"quorum"`
+	Survivors    int    `json:"survivors"`
+	Total        int    `json:"total"`
+	Detail       string `json:"detail"`
+}
+
+// PredictResponse is the POST /v1/predict result.
+type PredictResponse struct {
+	Scene  string `json:"scene"`
+	Config string `json:"config"`
+	K      int    `json:"k"`
+	// Key is the prediction's content address in the artifact store;
+	// identical requests report identical keys.
+	Key string `json:"key"`
+	// Cache is how this request was served: "miss" (this request built),
+	// "hit" (already resident) or "coalesced" (joined another request's
+	// in-flight build).
+	Cache     string             `json:"cache"`
+	Predicted map[string]float64 `json:"predicted"`
+	Groups    []GroupInfo        `json:"groups"`
+	Degraded  *DegradedInfo      `json:"degraded,omitempty"`
+	// PreprocessMs/SimWallMs/TotalCPUMs are the timings of the build that
+	// produced the artifact (a cached result keeps its original build's
+	// timings); ElapsedMs is what this request actually took.
+	PreprocessMs float64 `json:"preprocess_ms"`
+	SimWallMs    float64 `json:"sim_wall_ms"`
+	TotalCPUMs   float64 `json:"total_cpu_ms"`
+	ElapsedMs    float64 `json:"elapsed_ms"`
+}
+
+// errorBody is every non-2xx JSON payload.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, errorBody{Error: msg})
+}
+
+// ConfigByName resolves the Table II configuration names accepted across
+// the CLIs and the HTTP API.
+func ConfigByName(name string) (config.Config, error) {
+	switch strings.ToLower(name) {
+	case "", "mobile", "mobilesoc", "soc":
+		return config.MobileSoC(), nil
+	case "rtx2060", "rtx", "turing":
+		return config.RTX2060(), nil
+	default:
+		return config.Config{}, fmt.Errorf("unknown config %q (want mobile or rtx2060)", name)
+	}
+}
+
+// optionsFor validates the request and translates it into pipeline options.
+// Every error it returns is a client error (HTTP 400).
+func (s *Server) optionsFor(req *PredictRequest) (core.Options, error) {
+	var o core.Options
+
+	sceneName := req.Scene
+	if sceneName == "" {
+		return o, errors.New("missing scene")
+	}
+	known := false
+	for _, n := range scene.Names() {
+		if n == sceneName {
+			known = true
+			break
+		}
+	}
+	if !known {
+		return o, fmt.Errorf("unknown scene %q (want one of %s)", sceneName, strings.Join(scene.Names(), ", "))
+	}
+	cfg, err := ConfigByName(req.Config)
+	if err != nil {
+		return o, err
+	}
+	switch strings.ToLower(req.Division) {
+	case "", "fine":
+		o.Division = core.FineGrained
+	case "coarse":
+		o.Division = core.CoarseGrained
+	default:
+		return o, fmt.Errorf("unknown division %q (want fine or coarse)", req.Division)
+	}
+	switch strings.ToLower(req.Dist) {
+	case "", "uniform":
+		o.Dist = sampling.Uniform
+	case "lintmp":
+		o.Dist = sampling.LinTmp
+	case "exptmp":
+		o.Dist = sampling.ExpTmp
+	default:
+		return o, fmt.Errorf("unknown dist %q (want uniform, lintmp or exptmp)", req.Dist)
+	}
+	if req.Width < 0 || req.Height < 0 || req.SPP < 0 {
+		return o, fmt.Errorf("negative frame dimensions %dx%d spp=%d", req.Width, req.Height, req.SPP)
+	}
+	if req.Percent < 0 || req.Percent > 1 {
+		return o, fmt.Errorf("percent %v out of [0,1]", req.Percent)
+	}
+	if req.MaxPercent < 0 || req.MaxPercent > 1 {
+		return o, fmt.Errorf("max_percent %v out of [0,1]", req.MaxPercent)
+	}
+	if req.K < 0 {
+		return o, fmt.Errorf("negative downscaling factor %d", req.K)
+	}
+	if req.Attempts < 0 {
+		return o, fmt.Errorf("negative attempts %d", req.Attempts)
+	}
+	if req.TimeoutMs < 0 {
+		return o, fmt.Errorf("negative timeout_ms %d", req.TimeoutMs)
+	}
+
+	o.Config = cfg
+	o.Scene = sceneName
+	o.Width, o.Height, o.SPP = req.Width, req.Height, req.SPP
+	o.FixedFraction = req.Percent
+	o.MaxFraction = req.MaxPercent
+	o.K = req.K
+	o.NoDownscale = req.NoDownscale
+	o.Regression = req.Regression
+	o.QuantLevels = req.QuantLevels
+	o.Seed = req.Seed
+	o.FT.Attempts = req.Attempts
+	o.FT.Quorum = req.Quorum
+	o.Parallel = s.cfg.Parallel
+	o.Workers = s.cfg.Workers
+	o.Store = s.st
+	return o, nil
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.methodNotAllowed(w, r, "predict", http.MethodPost)
+		return
+	}
+	reqStart := time.Now()
+	finish := func(code int) {
+		s.countRequest("predict", code)
+		s.histRequest.observe(time.Since(reqStart))
+	}
+	if s.draining.Load() {
+		finish(http.StatusServiceUnavailable)
+		writeError(w, http.StatusServiceUnavailable, "server draining")
+		return
+	}
+
+	var req PredictRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		finish(http.StatusBadRequest)
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
+		return
+	}
+	opts, err := s.optionsFor(&req)
+	if err != nil {
+		finish(http.StatusBadRequest)
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+
+	// The request deadline governs everything below: admission wait, a
+	// coalesced wait on someone else's build, and every pipeline stage of
+	// a build this request runs itself.
+	ctx, cancel := context.WithTimeout(r.Context(), s.deadlineFor(req.TimeoutMs))
+	defer cancel()
+
+	key := opts.CacheKey()
+	v, outcome, err := s.st.GetOrBuild(ctx, key, func(ctx context.Context) (any, int64, error) {
+		// Admission control bounds cold builds only — hits and coalesced
+		// waiters cost no slot.
+		if err := s.acquire(ctx); err != nil {
+			return nil, 0, err
+		}
+		defer s.release()
+		buildStart := time.Now()
+		res, err := core.PredictContext(ctx, opts)
+		s.histBuild.observe(time.Since(buildStart))
+		if err != nil {
+			return nil, 0, err
+		}
+		return res, core.ResultSize(res), nil
+	})
+	if err != nil {
+		code := http.StatusInternalServerError
+		switch {
+		case errors.Is(err, errTooBusy):
+			code = http.StatusServiceUnavailable
+			w.Header().Set("Retry-After", "1")
+		case errors.Is(err, context.DeadlineExceeded):
+			code = http.StatusGatewayTimeout
+		case errors.Is(err, context.Canceled):
+			code = http.StatusServiceUnavailable
+		}
+		finish(code)
+		writeError(w, code, err.Error())
+		return
+	}
+	res := v.(*core.Result)
+
+	resp := PredictResponse{
+		Scene:        opts.Scene,
+		Config:       opts.Config.Name,
+		K:            res.K,
+		Key:          key.String(),
+		Cache:        outcome.String(),
+		Predicted:    make(map[string]float64, len(res.Predicted)),
+		Groups:       make([]GroupInfo, len(res.Groups)),
+		PreprocessMs: durMs(res.PreprocessTime),
+		SimWallMs:    durMs(res.SimWallTime),
+		TotalCPUMs:   durMs(res.TotalCPUTime),
+		ElapsedMs:    durMs(time.Since(reqStart)),
+	}
+	for _, m := range metrics.All() {
+		resp.Predicted[m.String()] = res.Predicted[m]
+	}
+	for gi, g := range res.Groups {
+		info := GroupInfo{
+			Pixels:   g.Pixels,
+			Selected: g.Selected,
+			Fraction: g.Fraction,
+			Attempts: g.Attempts,
+			Cycles:   g.Report.Cycles,
+		}
+		if g.Err != nil {
+			info.Error = g.Err.Error()
+		}
+		resp.Groups[gi] = info
+	}
+	if d := res.Degraded; d != nil {
+		resp.Degraded = &DegradedInfo{
+			FailedGroups: d.FailedGroups,
+			Quorum:       d.Quorum,
+			Survivors:    d.Survivors,
+			Total:        d.Total,
+			Detail:       d.String(),
+		}
+	}
+	w.Header().Set("X-Zatel-Cache", resp.Cache)
+	w.Header().Set("X-Zatel-Key", key.Short())
+	finish(http.StatusOK)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func durMs(d time.Duration) float64 { return float64(d) / 1e6 }

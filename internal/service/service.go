@@ -1,0 +1,308 @@
+// Package service implements zateld, the long-lived Zatel prediction
+// server: the amortization the paper argues for, operated at the fleet
+// level. Expensive pipeline artifacts (workload traces, quantized heatmaps,
+// whole predictions) live in a content-addressed store; identical requests
+// arriving concurrently coalesce onto one pipeline execution; an admission
+// semaphore bounds how many predictions build at once; and every request
+// carries a deadline mapped onto core.PredictContext so a slow build cannot
+// hold a client past its budget.
+//
+// Endpoints:
+//
+//	POST /v1/predict  — JSON request → cached-or-computed prediction
+//	GET  /v1/scenes   — the scene library
+//	GET  /v1/configs  — the Table II GPU configurations
+//	GET  /healthz     — liveness; 503 while draining
+//	GET  /metrics     — Prometheus text exposition
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"zatel/internal/config"
+	"zatel/internal/scene"
+	"zatel/internal/store"
+)
+
+// Config sizes the server. Zero values select production-sane defaults.
+type Config struct {
+	// Store holds the artifacts (nil = a new unbounded store). The same
+	// store instance backs workload traces, quantized heatmaps and whole
+	// predictions when it is installed as store.Default's budget via
+	// SetMaxBytes; the server itself only inserts predictions.
+	Store *store.Store
+	// MaxConcurrent bounds how many predictions may build simultaneously
+	// (0 = one per CPU core). Cache hits and coalesced waiters do not
+	// consume slots.
+	MaxConcurrent int
+	// MaxQueue bounds how many builders may wait for a slot before the
+	// server sheds load with 503 (0 = 4×MaxConcurrent).
+	MaxQueue int
+	// DefaultTimeout applies when a request carries no timeout_ms
+	// (0 = 60s); MaxTimeout clamps client-requested deadlines (0 = 10m).
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+	// Parallel/Workers configure the step-6 group fan-out of every
+	// prediction this server runs (see core.Options).
+	Parallel bool
+	Workers  int
+}
+
+func (c *Config) fillDefaults() {
+	if c.Store == nil {
+		c.Store = store.New(0)
+	}
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 4 * c.MaxConcurrent
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 60 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 10 * time.Minute
+	}
+}
+
+// Server is the zateld HTTP service. Construct with New; it is safe for
+// concurrent use.
+type Server struct {
+	cfg   Config
+	st    *store.Store
+	mux   *http.ServeMux
+	start time.Time
+
+	sem      chan struct{}
+	queued   atomic.Int64
+	running  atomic.Int64
+	draining atomic.Bool
+
+	reqMu     sync.Mutex
+	reqCounts map[reqKey]uint64
+
+	histRequest *histogram // end-to-end predict request latency
+	histBuild   *histogram // cold pipeline executions only
+	histWait    *histogram // admission-queue wait of builders
+}
+
+type reqKey struct {
+	handler string
+	code    int
+}
+
+// New returns a ready-to-serve server.
+func New(cfg Config) *Server {
+	cfg.fillDefaults()
+	s := &Server{
+		cfg:         cfg,
+		st:          cfg.Store,
+		mux:         http.NewServeMux(),
+		start:       time.Now(),
+		sem:         make(chan struct{}, cfg.MaxConcurrent),
+		reqCounts:   make(map[reqKey]uint64),
+		histRequest: newHistogram(),
+		histBuild:   newHistogram(),
+		histWait:    newHistogram(),
+	}
+	s.mux.HandleFunc("/v1/predict", s.handlePredict)
+	s.mux.HandleFunc("/v1/scenes", s.handleScenes)
+	s.mux.HandleFunc("/v1/configs", s.handleConfigs)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	return s
+}
+
+// Handler returns the root http.Handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Store exposes the artifact store (tests and metrics).
+func (s *Server) Store() *store.Store { return s.st }
+
+// SetDraining flips drain mode: /healthz turns 503 so load balancers stop
+// routing here, and new predictions are refused while in-flight ones finish.
+func (s *Server) SetDraining(v bool) { s.draining.Store(v) }
+
+// Draining reports drain mode.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+func (s *Server) countRequest(handler string, code int) {
+	s.reqMu.Lock()
+	s.reqCounts[reqKey{handler, code}]++
+	s.reqMu.Unlock()
+}
+
+// errTooBusy is the load-shedding sentinel: the admission queue is full.
+var errTooBusy = errors.New("service: admission queue full")
+
+// acquire takes one build slot, waiting in the bounded admission queue.
+// It fails fast with errTooBusy when the queue is full and with ctx's
+// error when the request deadline fires first.
+func (s *Server) acquire(ctx context.Context) error {
+	select {
+	case s.sem <- struct{}{}:
+		s.running.Add(1)
+		return nil
+	default:
+	}
+	if s.queued.Add(1) > int64(s.cfg.MaxQueue) {
+		s.queued.Add(-1)
+		return errTooBusy
+	}
+	defer s.queued.Add(-1)
+	waitStart := time.Now()
+	select {
+	case s.sem <- struct{}{}:
+		s.histWait.observe(time.Since(waitStart))
+		s.running.Add(1)
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (s *Server) release() {
+	s.running.Add(-1)
+	<-s.sem
+}
+
+// deadlineFor maps the request's timeout_ms onto the context every pipeline
+// stage below runs under: absent → DefaultTimeout, always clamped to
+// MaxTimeout.
+func (s *Server) deadlineFor(timeoutMs int) time.Duration {
+	d := s.cfg.DefaultTimeout
+	if timeoutMs > 0 {
+		d = time.Duration(timeoutMs) * time.Millisecond
+	}
+	if d > s.cfg.MaxTimeout {
+		d = s.cfg.MaxTimeout
+	}
+	return d
+}
+
+func (s *Server) handleScenes(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.methodNotAllowed(w, r, "scenes", http.MethodGet)
+		return
+	}
+	s.countRequest("scenes", http.StatusOK)
+	writeJSON(w, http.StatusOK, map[string]any{"scenes": scene.Names()})
+}
+
+type configInfo struct {
+	Name          string `json:"name"`
+	NumSMs        int    `json:"num_sms"`
+	MemPartitions int    `json:"mem_partitions"`
+	DownscaleK    int    `json:"downscale_k"`
+}
+
+func (s *Server) handleConfigs(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.methodNotAllowed(w, r, "configs", http.MethodGet)
+		return
+	}
+	var infos []configInfo
+	for _, c := range []config.Config{config.MobileSoC(), config.RTX2060()} {
+		infos = append(infos, configInfo{
+			Name:          c.Name,
+			NumSMs:        c.NumSMs,
+			MemPartitions: c.NumMemPartitions,
+			DownscaleK:    config.DownscaleFactor(c),
+		})
+	}
+	s.countRequest("configs", http.StatusOK)
+	writeJSON(w, http.StatusOK, map[string]any{"configs": infos})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		s.countRequest("healthz", http.StatusServiceUnavailable)
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining"})
+		return
+	}
+	s.countRequest("healthz", http.StatusOK)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":   "ok",
+		"uptime_s": time.Since(s.start).Seconds(),
+	})
+}
+
+// handleMetrics is the Prometheus text exposition: store counters, admission
+// state, per-handler request totals and the per-stage latency histograms.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.methodNotAllowed(w, r, "metrics", http.MethodGet)
+		return
+	}
+	s.countRequest("metrics", http.StatusOK)
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+
+	c := s.st.Snapshot()
+	counter := func(name string, v uint64, help string) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name string, v int64, help string) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+	counter("zatel_store_hits_total", c.Hits, "artifact lookups served from residency")
+	counter("zatel_store_misses_total", c.Misses, "artifact lookups that built")
+	counter("zatel_store_coalesced_total", c.Coalesced, "lookups that joined an in-flight build")
+	counter("zatel_store_builds_total", c.Builds, "artifact build executions")
+	counter("zatel_store_build_errors_total", c.BuildErrors, "failed artifact builds")
+	counter("zatel_store_evictions_total", c.Evictions, "artifacts evicted for the byte budget")
+	gauge("zatel_store_entries", int64(c.Entries), "resident artifacts")
+	gauge("zatel_store_bytes", c.Bytes, "resident artifact bytes")
+	gauge("zatel_store_max_bytes", c.MaxBytes, "artifact byte budget (0 = unbounded)")
+	gauge("zatel_store_inflight", int64(c.Inflight), "artifact builds executing")
+
+	gauge("zatel_predict_running", s.running.Load(), "predictions building now")
+	gauge("zatel_predict_queued", s.queued.Load(), "builders waiting for an admission slot")
+	gauge("zatel_predict_capacity", int64(s.cfg.MaxConcurrent), "admission slots")
+	gauge("zatel_draining", boolGauge(s.draining.Load()), "1 while the server drains")
+	fmt.Fprintf(w, "# HELP zatel_uptime_seconds time since server start\n# TYPE zatel_uptime_seconds gauge\nzatel_uptime_seconds %g\n",
+		time.Since(s.start).Seconds())
+
+	s.reqMu.Lock()
+	keys := make([]reqKey, 0, len(s.reqCounts))
+	for k := range s.reqCounts {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].handler != keys[j].handler {
+			return keys[i].handler < keys[j].handler
+		}
+		return keys[i].code < keys[j].code
+	})
+	fmt.Fprintf(w, "# HELP zatel_http_requests_total requests by handler and status\n# TYPE zatel_http_requests_total counter\n")
+	for _, k := range keys {
+		fmt.Fprintf(w, "zatel_http_requests_total{handler=%q,code=\"%d\"} %d\n", k.handler, k.code, s.reqCounts[k])
+	}
+	s.reqMu.Unlock()
+
+	fmt.Fprintf(w, "# HELP zatel_stage_latency_seconds per-stage latency\n# TYPE zatel_stage_latency_seconds histogram\n")
+	s.histRequest.writeProm(w, "zatel_stage_latency_seconds", `stage="request"`)
+	s.histBuild.writeProm(w, "zatel_stage_latency_seconds", `stage="build"`)
+	s.histWait.writeProm(w, "zatel_stage_latency_seconds", `stage="admission_wait"`)
+}
+
+func boolGauge(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func (s *Server) methodNotAllowed(w http.ResponseWriter, r *http.Request, handler string, allow string) {
+	s.countRequest(handler, http.StatusMethodNotAllowed)
+	w.Header().Set("Allow", allow)
+	writeError(w, http.StatusMethodNotAllowed, fmt.Sprintf("method %s not allowed", r.Method))
+}

@@ -1,0 +1,282 @@
+package store
+
+import (
+	"container/list"
+	"context"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Outcome classifies how one GetOrBuild call was served.
+type Outcome int
+
+const (
+	// Miss: this call ran the build itself.
+	Miss Outcome = iota
+	// Hit: the artifact was already resident.
+	Hit
+	// Coalesced: another call was already building the same key; this one
+	// waited and shared the outcome without running the build.
+	Coalesced
+)
+
+// String implements fmt.Stringer ("miss", "hit", "coalesced").
+func (o Outcome) String() string {
+	switch o {
+	case Hit:
+		return "hit"
+	case Coalesced:
+		return "coalesced"
+	default:
+		return "miss"
+	}
+}
+
+// Counters is a point-in-time snapshot of a store's observability state.
+// The monotonic totals feed the /metrics Prometheus exposition; the gauges
+// describe current occupancy.
+type Counters struct {
+	// Hits counts lookups served from a resident artifact.
+	Hits uint64
+	// Misses counts lookups that ran the build themselves.
+	Misses uint64
+	// Coalesced counts lookups that piggybacked on an in-flight build.
+	Coalesced uint64
+	// Builds counts build executions (== Misses; kept separate so the
+	// relationship is checkable) and BuildErrors the ones that failed.
+	Builds      uint64
+	BuildErrors uint64
+	// Evictions counts artifacts dropped to stay within MaxBytes.
+	Evictions uint64
+	// Inflight is the number of builds currently executing.
+	Inflight int
+	// Entries and Bytes describe current residency; MaxBytes is the budget
+	// (0 = unbounded).
+	Entries  int
+	Bytes    int64
+	MaxBytes int64
+}
+
+// flight is one in-progress build: the first caller for a key builds,
+// everyone else waits on done and shares value/err.
+type flight struct {
+	done  chan struct{}
+	value any
+	err   error
+}
+
+// entry is one resident artifact in the LRU list.
+type entry struct {
+	key   Digest
+	value any
+	size  int64
+}
+
+// Store is a bounded, content-addressed, coalescing artifact cache. The
+// zero value is not usable; construct with New.
+type Store struct {
+	mu       sync.Mutex
+	max      int64
+	bytes    int64
+	ll       *list.List // front = most recently used
+	items    map[Digest]*list.Element
+	inflight map[Digest]*flight
+
+	hits, misses, coalesced uint64
+	builds, buildErrors     uint64
+	evictions               uint64
+}
+
+// New returns an empty store that evicts least-recently-used artifacts once
+// resident bytes exceed maxBytes (<= 0 means unbounded).
+func New(maxBytes int64) *Store {
+	return &Store{
+		max:      maxBytes,
+		ll:       list.New(),
+		items:    make(map[Digest]*list.Element),
+		inflight: make(map[Digest]*flight),
+	}
+}
+
+// defaultStore is the process-wide shared store: rt workload traces and
+// core quantized heatmaps land here unless a caller injects its own store,
+// so every CLI and test in one process amortises the same artifacts.
+// Unbounded by default (the pre-store behaviour); cap it with
+// Default().SetMaxBytes, e.g. from a -store-size flag.
+var defaultStore = New(0)
+
+// Default returns the process-wide shared store.
+func Default() *Store { return defaultStore }
+
+// GetOrBuild returns the artifact for key, running build at most once per
+// key across all concurrent callers. The build receives ctx; its failure is
+// returned to the builder and every coalesced waiter but is not cached, so
+// a later call retries. Waiters stop waiting when their own ctx fires (the
+// build itself keeps running for the callers still interested). A build
+// that panics is converted into an error rather than crashing the caller.
+//
+// build returns the artifact and its approximate resident size in bytes,
+// which is what the LRU budget accounts. Artifacts larger than the whole
+// budget are returned but not retained.
+func (s *Store) GetOrBuild(ctx context.Context, key Digest, build func(ctx context.Context) (any, int64, error)) (any, Outcome, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	s.mu.Lock()
+	if el, ok := s.items[key]; ok {
+		s.ll.MoveToFront(el)
+		s.hits++
+		v := el.Value.(*entry).value
+		s.mu.Unlock()
+		return v, Hit, nil
+	}
+	if f, ok := s.inflight[key]; ok {
+		s.coalesced++
+		s.mu.Unlock()
+		select {
+		case <-f.done:
+			return f.value, Coalesced, f.err
+		case <-ctx.Done():
+			return nil, Coalesced, ctx.Err()
+		}
+	}
+	f := &flight{done: make(chan struct{})}
+	s.inflight[key] = f
+	s.misses++
+	s.builds++
+	s.mu.Unlock()
+
+	v, size, err := runBuild(ctx, build)
+
+	s.mu.Lock()
+	delete(s.inflight, key)
+	if err != nil {
+		s.buildErrors++
+	} else {
+		f.value = v
+		s.insertLocked(key, v, size)
+	}
+	f.err = err
+	s.mu.Unlock()
+	close(f.done)
+	if err != nil {
+		return nil, Miss, err
+	}
+	return v, Miss, nil
+}
+
+// runBuild invokes build with panic capture, mirroring the runner pool's
+// fail-soft contract: one bad artifact build must not take down a server.
+func runBuild(ctx context.Context, build func(ctx context.Context) (any, int64, error)) (v any, size int64, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			v, size, err = nil, 0, fmt.Errorf("store: build panicked: %v", r)
+		}
+	}()
+	return build(ctx)
+}
+
+// insertLocked makes the artifact resident as MRU and evicts from the LRU
+// tail until the byte budget holds again. The new artifact sits at the
+// front, so it is evicted only when it alone exceeds the whole budget.
+func (s *Store) insertLocked(key Digest, v any, size int64) {
+	if size < 0 {
+		size = 0
+	}
+	if el, ok := s.items[key]; ok {
+		// Cannot happen through GetOrBuild (one flight per key guards the
+		// insert), but keep the invariant safe under future callers.
+		e := el.Value.(*entry)
+		s.bytes += size - e.size
+		e.value, e.size = v, size
+		s.ll.MoveToFront(el)
+	} else {
+		s.items[key] = s.ll.PushFront(&entry{key: key, value: v, size: size})
+		s.bytes += size
+	}
+	s.evictOverBudgetLocked()
+}
+
+func (s *Store) evictOverBudgetLocked() {
+	for s.max > 0 && s.bytes > s.max && s.ll.Len() > 0 {
+		el := s.ll.Back()
+		e := el.Value.(*entry)
+		s.ll.Remove(el)
+		delete(s.items, e.key)
+		s.bytes -= e.size
+		s.evictions++
+	}
+}
+
+// Contains reports whether key is resident, without touching LRU order or
+// counters.
+func (s *Store) Contains(key Digest) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.items[key]
+	return ok
+}
+
+// SetMaxBytes replaces the byte budget (<= 0 = unbounded) and immediately
+// evicts down to it.
+func (s *Store) SetMaxBytes(n int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.max = n
+	s.evictOverBudgetLocked()
+}
+
+// Snapshot returns the current counters.
+func (s *Store) Snapshot() Counters {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Counters{
+		Hits:        s.hits,
+		Misses:      s.misses,
+		Coalesced:   s.coalesced,
+		Builds:      s.builds,
+		BuildErrors: s.buildErrors,
+		Evictions:   s.evictions,
+		Inflight:    len(s.inflight),
+		Entries:     s.ll.Len(),
+		Bytes:       s.bytes,
+		MaxBytes:    s.max,
+	}
+}
+
+// ParseSize parses a human byte-size flag value: a plain integer is bytes,
+// and the suffixes are binary multiples ("64K"/"64KiB"/"64KB" = 64·1024,
+// likewise M/G/T). "0" means unbounded.
+func ParseSize(s string) (int64, error) {
+	t := strings.TrimSpace(strings.ToUpper(s))
+	if t == "" {
+		return 0, fmt.Errorf("store: empty size")
+	}
+	mult := int64(1)
+	for _, suf := range []struct {
+		tag string
+		n   int64
+	}{
+		{"TIB", 1 << 40}, {"TB", 1 << 40}, {"T", 1 << 40},
+		{"GIB", 1 << 30}, {"GB", 1 << 30}, {"G", 1 << 30},
+		{"MIB", 1 << 20}, {"MB", 1 << 20}, {"M", 1 << 20},
+		{"KIB", 1 << 10}, {"KB", 1 << 10}, {"K", 1 << 10},
+		{"B", 1},
+	} {
+		if strings.HasSuffix(t, suf.tag) {
+			mult = suf.n
+			t = strings.TrimSpace(strings.TrimSuffix(t, suf.tag))
+			break
+		}
+	}
+	n, err := strconv.ParseInt(t, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("store: bad size %q: %w", s, err)
+	}
+	if n < 0 {
+		return 0, fmt.Errorf("store: negative size %q", s)
+	}
+	return n * mult, nil
+}

@@ -1,0 +1,294 @@
+package store
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func key(i int) Digest { return NewKey("test/v1").Int("i", i).Digest() }
+
+// constBuild returns a build function yielding v with the given size.
+func constBuild(v any, size int64) func(context.Context) (any, int64, error) {
+	return func(context.Context) (any, int64, error) { return v, size, nil }
+}
+
+func TestGetOrBuildHitMiss(t *testing.T) {
+	s := New(0)
+	ctx := context.Background()
+
+	v, out, err := s.GetOrBuild(ctx, key(1), constBuild("one", 10))
+	if err != nil || out != Miss || v.(string) != "one" {
+		t.Fatalf("cold call: %v %v %v", v, out, err)
+	}
+	v, out, err = s.GetOrBuild(ctx, key(1), func(context.Context) (any, int64, error) {
+		t.Fatal("build ran on a warm key")
+		return nil, 0, nil
+	})
+	if err != nil || out != Hit || v.(string) != "one" {
+		t.Fatalf("warm call: %v %v %v", v, out, err)
+	}
+
+	c := s.Snapshot()
+	if c.Hits != 1 || c.Misses != 1 || c.Builds != 1 || c.Entries != 1 || c.Bytes != 10 {
+		t.Errorf("counters = %+v", c)
+	}
+}
+
+// TestEvictionOrderAndByteBudget pins LRU semantics: the least recently
+// *used* entry goes first (touching an old entry rescues it), and resident
+// bytes never exceed the budget after an insert.
+func TestEvictionOrderAndByteBudget(t *testing.T) {
+	s := New(30)
+	ctx := context.Background()
+
+	for i := 0; i < 3; i++ { // 1,2,3 resident at 10 bytes each
+		if _, _, err := s.GetOrBuild(ctx, key(i), constBuild(i, 10)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Touch key 0 so key 1 becomes the LRU victim.
+	if _, out, _ := s.GetOrBuild(ctx, key(0), constBuild(nil, 0)); out != Hit {
+		t.Fatalf("touch of key 0: outcome %v, want hit", out)
+	}
+	// Inserting key 3 (10 bytes) must evict exactly key 1.
+	if _, _, err := s.GetOrBuild(ctx, key(3), constBuild(3, 10)); err != nil {
+		t.Fatal(err)
+	}
+	if s.Contains(key(1)) {
+		t.Error("key 1 still resident; LRU order ignored the touch")
+	}
+	for _, i := range []int{0, 2, 3} {
+		if !s.Contains(key(i)) {
+			t.Errorf("key %d evicted, want resident", i)
+		}
+	}
+	c := s.Snapshot()
+	if c.Bytes != 30 || c.Entries != 3 || c.Evictions != 1 {
+		t.Errorf("counters after eviction = %+v", c)
+	}
+
+	// A single artifact larger than the whole budget is returned but not
+	// retained.
+	v, out, err := s.GetOrBuild(ctx, key(9), constBuild("big", 100))
+	if err != nil || out != Miss || v.(string) != "big" {
+		t.Fatalf("oversize build: %v %v %v", v, out, err)
+	}
+	if s.Contains(key(9)) {
+		t.Error("oversize artifact retained past the budget")
+	}
+	if c := s.Snapshot(); c.Bytes > 30 {
+		t.Errorf("bytes %d exceed budget 30", c.Bytes)
+	}
+}
+
+func TestSetMaxBytesEvictsDown(t *testing.T) {
+	s := New(0)
+	ctx := context.Background()
+	for i := 0; i < 4; i++ {
+		s.GetOrBuild(ctx, key(i), constBuild(i, 10))
+	}
+	s.SetMaxBytes(20)
+	c := s.Snapshot()
+	if c.Bytes != 20 || c.Entries != 2 || c.Evictions != 2 {
+		t.Errorf("after SetMaxBytes(20): %+v", c)
+	}
+	// The two most recently inserted survive.
+	for _, i := range []int{2, 3} {
+		if !s.Contains(key(i)) {
+			t.Errorf("key %d evicted, want resident", i)
+		}
+	}
+}
+
+// TestCoalescingStress proves the singleflight contract under -race: 8
+// concurrent callers for one cold key execute exactly one build, everyone
+// shares its value, and outcomes split into one miss + seven coalesced.
+func TestCoalescingStress(t *testing.T) {
+	s := New(0)
+	const callers = 8
+	var builds atomic.Int64
+	gate := make(chan struct{})
+
+	var wg sync.WaitGroup
+	vals := make([]any, callers)
+	outs := make([]Outcome, callers)
+	errs := make([]error, callers)
+	start := make(chan struct{})
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			vals[i], outs[i], errs[i] = s.GetOrBuild(context.Background(), key(42),
+				func(context.Context) (any, int64, error) {
+					builds.Add(1)
+					<-gate // hold the build open so everyone piles up
+					return "artifact", 8, nil
+				})
+		}(i)
+	}
+	close(start)
+	// Wait until the one builder is registered and give the other callers
+	// time to reach the coalescing path.
+	for s.Snapshot().Inflight == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(5 * time.Millisecond)
+	close(gate)
+	wg.Wait()
+
+	var miss, coal int
+	for i := 0; i < callers; i++ {
+		if errs[i] != nil {
+			t.Fatalf("caller %d: %v", i, errs[i])
+		}
+		if vals[i].(string) != "artifact" {
+			t.Fatalf("caller %d got %v", i, vals[i])
+		}
+		switch outs[i] {
+		case Miss:
+			miss++
+		case Coalesced:
+			coal++
+		}
+	}
+	if got := builds.Load(); got != 1 {
+		t.Errorf("%d builds executed, want exactly 1", got)
+	}
+	if miss != 1 || miss+coal != callers {
+		t.Errorf("outcomes: %d miss, %d coalesced; want 1 and %d", miss, coal, callers-1)
+	}
+	c := s.Snapshot()
+	if c.Misses != 1 || c.Builds != 1 || c.Coalesced < uint64(callers-1) {
+		t.Errorf("counters = %+v", c)
+	}
+}
+
+// TestBuildErrorNotCachedAndShared: a failing build propagates to all
+// coalesced waiters but is not cached, so the next call retries.
+func TestBuildErrorNotCachedAndShared(t *testing.T) {
+	s := New(0)
+	boom := errors.New("boom")
+	var builds atomic.Int64
+	gate := make(chan struct{})
+
+	const callers = 4
+	var wg sync.WaitGroup
+	errs := make([]error, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, _, errs[i] = s.GetOrBuild(context.Background(), key(7),
+				func(context.Context) (any, int64, error) {
+					builds.Add(1)
+					<-gate
+					return nil, 0, boom
+				})
+		}(i)
+	}
+	for s.Snapshot().Inflight == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(5 * time.Millisecond)
+	close(gate)
+	wg.Wait()
+
+	for i, err := range errs {
+		if !errors.Is(err, boom) {
+			t.Errorf("caller %d: %v, want boom", i, err)
+		}
+	}
+	if builds.Load() != 1 {
+		t.Errorf("%d builds for one failing key, want 1", builds.Load())
+	}
+	// Retry builds again (and can succeed).
+	v, out, err := s.GetOrBuild(context.Background(), key(7), constBuild("ok", 1))
+	if err != nil || out != Miss || v.(string) != "ok" {
+		t.Errorf("retry after failure: %v %v %v", v, out, err)
+	}
+	if c := s.Snapshot(); c.BuildErrors != 1 || c.Builds != 2 {
+		t.Errorf("counters = %+v", c)
+	}
+}
+
+func TestBuildPanicBecomesError(t *testing.T) {
+	s := New(0)
+	_, _, err := s.GetOrBuild(context.Background(), key(1),
+		func(context.Context) (any, int64, error) { panic("kaboom") })
+	if err == nil || err.Error() != "store: build panicked: kaboom" {
+		t.Errorf("panic surfaced as %v", err)
+	}
+	if s.Contains(key(1)) {
+		t.Error("panicked build cached an artifact")
+	}
+}
+
+// TestWaiterContextCancel: a coalesced waiter abandons the wait when its
+// own context fires; the build keeps running and still lands in the store.
+func TestWaiterContextCancel(t *testing.T) {
+	s := New(0)
+	gate := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		s.GetOrBuild(context.Background(), key(5), func(context.Context) (any, int64, error) {
+			<-gate
+			return "slow", 4, nil
+		})
+	}()
+	for s.Snapshot().Inflight == 0 {
+		time.Sleep(time.Millisecond)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, out, err := s.GetOrBuild(ctx, key(5), constBuild(nil, 0))
+	if !errors.Is(err, context.Canceled) || out != Coalesced {
+		t.Errorf("cancelled waiter: outcome %v err %v", out, err)
+	}
+
+	close(gate)
+	<-done
+	if !s.Contains(key(5)) {
+		t.Error("build abandoned by its waiter did not land in the store")
+	}
+}
+
+// TestConcurrentDistinctKeys exercises the store under -race with many
+// goroutines on overlapping keys and a tight budget.
+func TestConcurrentDistinctKeys(t *testing.T) {
+	s := New(64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				k := key(i % 10)
+				v, _, err := s.GetOrBuild(context.Background(), k, constBuild(fmt.Sprintf("v%d", i%10), 16))
+				if err != nil {
+					t.Errorf("g%d i%d: %v", g, i, err)
+					return
+				}
+				if want := fmt.Sprintf("v%d", i%10); v.(string) != want {
+					t.Errorf("g%d i%d: got %v want %v", g, i, v, want)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	c := s.Snapshot()
+	if c.Bytes > 64 {
+		t.Errorf("budget exceeded: %+v", c)
+	}
+	if c.Hits+c.Misses+c.Coalesced != 400 {
+		t.Errorf("lookup accounting: %+v", c)
+	}
+}

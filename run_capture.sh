@@ -4,4 +4,6 @@ go test ./... -count=1 -timeout 30m > /root/repo/test_output.txt 2>&1
 echo "TESTS_EXIT=$?" >> /root/repo/test_output.txt
 go test -bench=. -benchmem -timeout 90m ./... > /root/repo/bench_output.txt 2>&1
 echo "BENCH_EXIT=$?" >> /root/repo/bench_output.txt
+ZATEL_BENCH_STORE_JSON=/root/repo/BENCH_store.json go test -run 'TestWarmStoreSpeedup' -count=1 -timeout 10m . > /root/repo/bench_store_output.txt 2>&1
+echo "BENCH_STORE_EXIT=$?" >> /root/repo/bench_store_output.txt
 touch /root/repo/.capture_done

@@ -1,0 +1,53 @@
+#!/bin/sh
+# zateld smoke test: boot the daemon, serve a cold prediction, assert the
+# identical repeat is served as a store hit (response field and /metrics
+# counter), then SIGTERM-drain and require a clean exit.
+set -eu
+cd "$(dirname "$0")/.."
+
+ADDR="${ZATELD_SMOKE_ADDR:-127.0.0.1:17717}"
+TMP="$(mktemp -d)"
+PID=""
+cleanup() {
+	[ -n "$PID" ] && kill -9 "$PID" 2>/dev/null || true
+	rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+go build -o "$TMP/zateld" ./cmd/zateld
+"$TMP/zateld" -addr "$ADDR" -store-size 256MiB >"$TMP/zateld.log" 2>&1 &
+PID=$!
+
+i=0
+until curl -fsS "http://$ADDR/healthz" >/dev/null 2>&1; do
+	i=$((i + 1))
+	if [ "$i" -ge 100 ]; then
+		echo "smoke: zateld never became healthy" >&2
+		cat "$TMP/zateld.log" >&2
+		exit 1
+	fi
+	sleep 0.1
+done
+
+BODY='{"scene":"SPRNG","config":"mobile","width":48,"height":48,"spp":1}'
+
+R1="$(curl -fsS -X POST -d "$BODY" "http://$ADDR/v1/predict")"
+echo "$R1" | grep -q '"cache": "miss"' || { echo "smoke: first predict not a miss: $R1" >&2; exit 1; }
+echo "$R1" | grep -q '"GPU IPC"' || { echo "smoke: prediction missing metrics: $R1" >&2; exit 1; }
+echo "$R1" | grep -q '"key"' || { echo "smoke: prediction missing key: $R1" >&2; exit 1; }
+
+R2="$(curl -fsS -X POST -d "$BODY" "http://$ADDR/v1/predict")"
+echo "$R2" | grep -q '"cache": "hit"' || { echo "smoke: second predict not a hit: $R2" >&2; exit 1; }
+
+METRICS="$(curl -fsS "http://$ADDR/metrics")"
+echo "$METRICS" | grep -Eq '^zatel_store_hits_total [1-9]' \
+	|| { echo "smoke: /metrics shows no store hit" >&2; exit 1; }
+
+kill -TERM "$PID"
+if ! wait "$PID"; then
+	echo "smoke: zateld drain exited non-zero" >&2
+	cat "$TMP/zateld.log" >&2
+	exit 1
+fi
+PID=""
+echo "zateld smoke: OK"
