@@ -16,6 +16,11 @@ go test -race -short -timeout 5m \
 	-run 'Fault|Inject|Degraded|Quorum|Retr|Policy|Straggl|Backoff' \
 	./internal/faults/ ./internal/runner/ ./internal/core/ ./internal/experiments/
 
+# Docs lint: every package documented, every exported metric name present in
+# OPERATIONS.md.
+./scripts/lint_docs.sh
+
 # zateld end-to-end smoke: boot the daemon, serve a cold prediction, assert
-# the identical repeat is a store hit via /metrics, SIGTERM-drain cleanly.
+# the identical repeat is a store hit via /metrics, exercise request ids /
+# ?trace=1 / pprof / per-step histograms, SIGTERM-drain cleanly.
 ./scripts/smoke_zateld.sh

@@ -20,6 +20,7 @@ import (
 	"syscall"
 
 	"zatel/internal/heatmap"
+	"zatel/internal/obs"
 	"zatel/internal/partition"
 	"zatel/internal/rt"
 	"zatel/internal/sampling"
@@ -37,8 +38,13 @@ func main() {
 		dist      = flag.String("dist", "uniform", "distribution for -select: uniform, lintmp or exptmp")
 		outPath   = flag.String("o", "", "output PPM path (default <scene>.ppm)")
 		seed      = flag.Uint64("seed", 1, "quantization seed")
+		logLevel  = flag.String("log-level", "info", "log verbosity: debug, info, warn or error")
 	)
 	flag.Parse()
+
+	if _, err := obs.SetupLogger(os.Stderr, *logLevel, false); err != nil {
+		fatal(err)
+	}
 
 	// SIGINT/SIGTERM cancel the path trace between rows; no partial image
 	// is written and we exit 130 like the other CLIs.

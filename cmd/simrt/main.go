@@ -20,6 +20,7 @@ import (
 	"zatel/internal/config"
 	"zatel/internal/core"
 	"zatel/internal/metrics"
+	"zatel/internal/obs"
 	"zatel/internal/scene"
 )
 
@@ -29,8 +30,13 @@ func main() {
 		cfgName   = flag.String("config", "mobile", "GPU configuration: mobile or rtx2060")
 		res       = flag.Int("res", 128, "square frame resolution")
 		spp       = flag.Int("spp", 2, "samples per pixel")
+		logLevel  = flag.String("log-level", "info", "log verbosity: debug, info, warn or error")
 	)
 	flag.Parse()
+
+	if _, err := obs.SetupLogger(os.Stderr, *logLevel, false); err != nil {
+		fatal(err)
+	}
 
 	cfg, err := configByName(*cfgName)
 	if err != nil {

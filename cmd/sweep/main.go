@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	sweep [-res 128] [-spp 2] [-config rtx2060] [-reps 5] <experiment>
+//	sweep [-res 256] [-spp 1] [-config rtx2060] [-reps 5] [-trace grid.json] <experiment>
 //
 // Experiments: fig10 fig11 table3 fig13 fig14 fig15 fig16 fig17 fig18
 // fig19 fig20 all
@@ -18,6 +18,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"os/signal"
 	"strings"
@@ -28,16 +29,17 @@ import (
 	"zatel/internal/core"
 	"zatel/internal/experiments"
 	"zatel/internal/faults"
+	"zatel/internal/obs"
 	"zatel/internal/scene"
 	"zatel/internal/store"
 )
 
 func main() {
 	var (
-		res     = flag.Int("res", 256, "square frame resolution")
-		spp     = flag.Int("spp", 1, "samples per pixel")
-		cfgName = flag.String("config", "rtx2060", "config for per-config sweeps (mobile or rtx2060)")
-		reps    = flag.Int("reps", 5, "random-selection repetitions for table3")
+		res       = flag.Int("res", 256, "square frame resolution")
+		spp       = flag.Int("spp", 1, "samples per pixel")
+		cfgName   = flag.String("config", "rtx2060", "config for per-config sweeps (mobile or rtx2060)")
+		reps      = flag.Int("reps", 5, "random-selection repetitions for table3")
 		workers   = flag.Int("workers", 0, "experiment-grid worker pool size (0 = one per CPU core, 1 = serial)")
 		storeSize = flag.String("store-size", "0", "artifact store byte budget, e.g. 256MiB (0 = unbounded)")
 
@@ -51,10 +53,17 @@ func main() {
 		injStraggle = flag.Float64("inject-straggle", 0, "fault injection: per-attempt straggler probability in [0,1]")
 		injMean     = flag.Duration("inject-straggle-mean", 50*time.Millisecond, "fault injection: mean straggler delay")
 		injSeed     = flag.Uint64("inject-seed", 1, "fault injection: decision seed")
+
+		traceFile = flag.String("trace", "", "write a Chrome trace_event JSON of the experiment grid to this file")
+		logLevel  = flag.String("log-level", "info", "log verbosity: debug, info, warn or error")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
 		usage()
+	}
+
+	if _, err := obs.SetupLogger(os.Stderr, *logLevel, false); err != nil {
+		fatal(err)
 	}
 
 	// Workload traces and quantized heatmaps are shared across every grid
@@ -70,6 +79,31 @@ func main() {
 	// (cancelled ones as ERR) before we exit 130.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	// -trace attaches a tracer to the grid context: one "point[i]" span per
+	// grid point, with the nested pipeline step spans below each. flushTrace
+	// runs on every exit path so an interrupted sweep still leaves a file.
+	flushTrace := func() {}
+	if *traceFile != "" {
+		tracer := obs.NewTracer()
+		tracer.SetMeta("cmd", "sweep")
+		tracer.SetMeta("experiment", flag.Arg(0))
+		ctx = obs.WithTracer(ctx, tracer)
+		flushTrace = func() {
+			f, err := os.Create(*traceFile)
+			if err == nil {
+				err = tracer.WriteChromeTrace(f)
+				if cerr := f.Close(); err == nil {
+					err = cerr
+				}
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "sweep: writing trace:", err)
+				return
+			}
+			slog.Info("trace written", "file", *traceFile, "spans", len(tracer.Snapshot()))
+		}
+	}
 
 	settings := experiments.Settings{
 		Width: *res, Height: *res, SPP: *spp, Workers: *workers,
@@ -96,10 +130,12 @@ func main() {
 	which := strings.ToLower(flag.Arg(0))
 	run := func(name string) {
 		if err := runExperiment(name, settings, cfg, *reps); err != nil {
+			flushTrace()
 			fatal(fmt.Errorf("%s: %w", name, err))
 		}
 		fmt.Println()
 		if ctx.Err() != nil {
+			flushTrace()
 			fmt.Fprintln(os.Stderr, "sweep: interrupted — partial results above")
 			os.Exit(130)
 		}
@@ -109,9 +145,11 @@ func main() {
 			"fig15", "fig16", "fig17", "fig18", "fig19", "fig20"} {
 			run(name)
 		}
+		flushTrace()
 		return
 	}
 	run(which)
+	flushTrace()
 }
 
 // sweepCache shares one percentage sweep across fig13–fig16.

@@ -7,6 +7,7 @@
 //	zatel -scene PARK -maxpercent 0.1           # the paper's 50x variant
 //	zatel -scene BATH -division coarse -dist exptmp -percent 0.4
 //	zatel -scene PARK -inject-errors 0.3 -attempts 3   # fault-injection soak
+//	zatel -scene PARK -trace trace.json                # step-level span trace
 package main
 
 import (
@@ -14,6 +15,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"os/signal"
 	"strings"
@@ -24,6 +26,7 @@ import (
 	"zatel/internal/core"
 	"zatel/internal/faults"
 	"zatel/internal/metrics"
+	"zatel/internal/obs"
 	"zatel/internal/sampling"
 	"zatel/internal/scene"
 	"zatel/internal/store"
@@ -58,8 +61,15 @@ func main() {
 		injStraggle = flag.Float64("inject-straggle", 0, "fault injection: per-attempt straggler probability in [0,1]")
 		injMean     = flag.Duration("inject-straggle-mean", 50*time.Millisecond, "fault injection: mean straggler delay")
 		injSeed     = flag.Uint64("inject-seed", 1, "fault injection: decision seed")
+
+		traceFile = flag.String("trace", "", "write a Chrome trace_event JSON of the pipeline to this file (open in chrome://tracing or Perfetto)")
+		logLevel  = flag.String("log-level", "info", "log verbosity: debug, info, warn or error")
 	)
 	flag.Parse()
+
+	if _, err := obs.SetupLogger(os.Stderr, *logLevel, false); err != nil {
+		fatal(err)
+	}
 
 	// The workload trace, quantized heatmap and any repeat predictions all
 	// flow through the process-wide artifact store; -store-size bounds it.
@@ -123,7 +133,24 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	// -trace attaches a tracer to the context; every pipeline step, group
+	// job and retry attempt below records a span into it.
+	var tracer *obs.Tracer
+	if *traceFile != "" {
+		tracer = obs.NewTracer()
+		tracer.SetMeta("cmd", "zatel")
+		tracer.SetMeta("scene", *sceneName)
+		tracer.SetMeta("config", cfg.Name)
+		ctx = obs.WithTracer(ctx, tracer)
+	}
+
 	result, err := core.PredictContext(ctx, opts)
+	if tracer != nil {
+		if werr := writeTrace(*traceFile, tracer); werr != nil {
+			fatal(werr)
+		}
+		slog.Info("trace written", "file", *traceFile, "spans", len(tracer.Snapshot()))
+	}
 	if err != nil {
 		if ctx.Err() != nil || errors.Is(err, context.Canceled) {
 			fmt.Fprintln(os.Stderr, "zatel: interrupted")
@@ -177,6 +204,19 @@ func main() {
 	fmt.Printf("\nMAE %.1f%%   speedup %.1fx (full sim %s vs zatel %s)\n",
 		100*metrics.MAE(errs, metrics.All()), result.Speedup(ref),
 		ref.WallTime.Round(1e6), (result.PreprocessTime + result.SimWallTime).Round(1e6))
+}
+
+// writeTrace exports the tracer's spans as Chrome trace_event JSON.
+func writeTrace(path string, tr *obs.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func configByName(name string) (config.Config, error) {

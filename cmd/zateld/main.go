@@ -7,6 +7,7 @@
 // Usage:
 //
 //	zateld -addr :8080 -store-size 512MiB -max-concurrent 8
+//	zateld -log-format json -debug-addr localhost:6060   # JSON logs + pprof
 //
 //	curl -s -X POST localhost:8080/v1/predict \
 //	    -d '{"scene":"PARK","config":"mobile","width":128,"height":128,"spp":2}'
@@ -16,14 +17,17 @@ import (
 	"context"
 	"errors"
 	"flag"
-	"log"
+	"fmt"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
 	"syscall"
 	"time"
 
+	"zatel/internal/obs"
 	"zatel/internal/service"
 	"zatel/internal/store"
 )
@@ -39,12 +43,24 @@ func main() {
 		drainTimeout  = flag.Duration("drain-timeout", 30*time.Second, "how long to wait for in-flight requests on shutdown")
 		parallel      = flag.Bool("parallel", true, "run each prediction's K group instances on the worker pool")
 		workers       = flag.Int("workers", 0, "group-instance pool size with -parallel (0 = one per CPU core)")
+		logLevel      = flag.String("log-level", "info", "log verbosity: debug, info, warn or error")
+		logFormat     = flag.String("log-format", "text", "log output format: text or json")
+		debugAddr     = flag.String("debug-addr", "", "separate listen address for /debug/pprof/ (empty = disabled)")
 	)
 	flag.Parse()
 
+	switch *logFormat {
+	case "text", "json":
+	default:
+		fatal(fmt.Errorf("unknown -log-format %q (want text or json)", *logFormat))
+	}
+	if _, err := obs.SetupLogger(os.Stderr, *logLevel, *logFormat == "json"); err != nil {
+		fatal(err)
+	}
+
 	budget, err := store.ParseSize(*storeSize)
 	if err != nil {
-		log.Fatalf("zateld: %v", err)
+		fatal(err)
 	}
 	// One store for everything: workload traces and quantized heatmaps land
 	// in the process-wide default store anyway, so budgeting that same
@@ -67,6 +83,25 @@ func main() {
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
+	// The pprof listener is separate from the service address so profiling
+	// endpoints are never exposed to prediction clients; bind it to
+	// localhost (e.g. -debug-addr localhost:6060) in production.
+	if *debugAddr != "" {
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		ds := &http.Server{Addr: *debugAddr, Handler: dmux, ReadHeaderTimeout: 10 * time.Second}
+		go func() {
+			slog.Info("debug listener up", "addr", *debugAddr)
+			if err := ds.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				slog.Error("debug listener failed", "err", err)
+			}
+		}()
+	}
+
 	// SIGINT/SIGTERM start the drain: health flips to 503 so load
 	// balancers stop routing here, new predictions are refused, and
 	// in-flight requests get drain-timeout to finish.
@@ -75,27 +110,32 @@ func main() {
 
 	errCh := make(chan error, 1)
 	go func() {
-		log.Printf("zateld: listening on %s (store budget %s, %d slots)",
-			*addr, *storeSize, effectiveSlots(*maxConcurrent))
+		slog.Info("listening", "addr", *addr, "store_budget", *storeSize,
+			"slots", effectiveSlots(*maxConcurrent))
 		errCh <- hs.ListenAndServe()
 	}()
 
 	select {
 	case <-ctx.Done():
-		log.Printf("zateld: signal received, draining (up to %v)", *drainTimeout)
+		slog.Info("signal received, draining", "timeout", *drainTimeout)
 		srv.SetDraining(true)
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 		defer cancel()
 		if err := hs.Shutdown(shutdownCtx); err != nil {
-			log.Printf("zateld: drain incomplete: %v", err)
+			slog.Error("drain incomplete", "err", err)
 			os.Exit(1)
 		}
-		log.Printf("zateld: drained cleanly")
+		slog.Info("drained cleanly")
 	case err := <-errCh:
 		if err != nil && !errors.Is(err, http.ErrServerClosed) {
-			log.Fatalf("zateld: %v", err)
+			fatal(err)
 		}
 	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "zateld:", err)
+	os.Exit(1)
 }
 
 // effectiveSlots reports the admission capacity for the startup log.

@@ -1,4 +1,5 @@
-// Archcompare: the early-design-phase workflow Zatel was built for
+// Command archcompare demonstrates the early-design-phase workflow Zatel
+// was built for
 // (Section IV-B, Fig. 11). An architect wants to know how a candidate
 // next-generation mobile GPU — double the SMs, bigger RT units — compares
 // to the current Mobile SoC on a heavy path-tracing workload, without

@@ -1,6 +1,7 @@
-// Budgetplanner: use Eq. 4 (speedup = 181·perc^−1.15) to pick the traced-
-// pixel percentage that fits a simulation time budget, then run Zatel with
-// that percentage and verify both the achieved speedup and the accuracy.
+// Command budgetplanner uses Eq. 4 (speedup = 181·perc^−1.15) to pick the
+// traced-pixel percentage that fits a simulation time budget, then runs
+// Zatel with that percentage and verifies both the achieved speedup and the
+// accuracy.
 // This is the "helping users choose the best configuration of Zatel for
 // their study" workflow of Section IV-D.
 //

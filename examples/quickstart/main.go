@@ -1,5 +1,5 @@
-// Quickstart: predict a ray-tracing workload's performance metrics with
-// Zatel and check them against the ground-truth full simulation.
+// Command quickstart predicts a ray-tracing workload's performance metrics
+// with Zatel and checks them against the ground-truth full simulation.
 //
 //	go run ./examples/quickstart
 package main

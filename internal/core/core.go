@@ -22,6 +22,7 @@ import (
 	"zatel/internal/gpu"
 	"zatel/internal/heatmap"
 	"zatel/internal/metrics"
+	"zatel/internal/obs"
 	"zatel/internal/partition"
 	"zatel/internal/rt"
 	"zatel/internal/runner"
@@ -267,6 +268,31 @@ type Result struct {
 
 var filteredTrace = rt.FilteredTrace()
 
+// StepSpanNames are the names of the seven top-level pipeline step spans
+// PredictContext records, in pipeline order, when the context carries an
+// obs.Tracer. They are the vocabulary of DESIGN.md's span taxonomy and the
+// label values of zateld's zatel_step_latency_seconds histogram; together
+// the seven spans cover (almost) the whole prediction wall time.
+var StepSpanNames = []string{
+	"step1_profile",   // functional workload trace fetch/build (heatmap source)
+	"step2_quantize",  // K-means heatmap quantization (store-cached)
+	"step3_downscale", // GPU config downscaling by K
+	"step4_partition", // image-plane division into K groups
+	"step5_select",    // representative-pixel selection (Eq. 1–3)
+	"step6_simulate",  // per-group downscaled simulator fan-out
+	"step7_combine",   // grading, degradation decision, extrapolate+merge
+}
+
+// Pipeline metrics, exposed through zateld's /metrics (see OPERATIONS.md).
+var (
+	mPredictions = obs.NewCounter("zatel_predictions_total",
+		"pipeline executions completed successfully (degraded included)")
+	mDegraded = obs.NewCounter("zatel_predict_degraded_total",
+		"predictions that lost groups but met quorum")
+	mGroupFailures = obs.NewCounter("zatel_predict_group_failures_total",
+		"group instances that exhausted their retries")
+)
+
 // Predict runs the Zatel pipeline.
 func Predict(opts Options) (*Result, error) {
 	return PredictContext(context.Background(), opts)
@@ -314,11 +340,20 @@ func PredictContext(ctx context.Context, opts Options) (*Result, error) {
 		return nil, err
 	}
 
+	// Root span: everything below nests under it; the seven step spans
+	// tile its duration (verified by TestTraceStepSpansCoverWallTime).
+	ctx, root := obs.StartSpan(ctx, "predict")
+	root.SetAttr("scene", opts.Scene)
+	root.SetAttr("config", opts.Config.Name)
+	defer root.End()
+
 	// The functional workload (traces + per-pixel cost) is shared
 	// infrastructure: the full simulation replays the same traces, and the
 	// paper obtains the equivalent profile from a hardware GPU in seconds.
 	// It is therefore fetched outside the timed preprocessing.
-	wl, err := rt.CachedWorkloadContext(ctx, opts.Scene, opts.Width, opts.Height, opts.SPP)
+	s1ctx, sp1 := obs.StartSpan(ctx, "step1_profile")
+	wl, err := rt.CachedWorkloadContext(s1ctx, opts.Scene, opts.Width, opts.Height, opts.SPP)
+	sp1.End()
 	if err != nil {
 		return nil, err
 	}
@@ -331,7 +366,8 @@ func PredictContext(ctx context.Context, opts Options) (*Result, error) {
 	// lookup on a hit.
 	wkey := rt.WorkloadKey(opts.Scene, opts.Width, opts.Height, opts.SPP)
 	preStart := time.Now()
-	qv, _, err := opts.artifactStore().GetOrBuild(ctx,
+	s2ctx, sp2 := obs.StartSpan(ctx, "step2_quantize")
+	qv, _, err := opts.artifactStore().GetOrBuild(s2ctx,
 		QuantizedKey(wkey, opts.QuantLevels, opts.Seed),
 		func(context.Context) (any, int64, error) {
 			hm, err := heatmap.FromCost(wl.Cost, wl.Width, wl.Height)
@@ -344,6 +380,7 @@ func PredictContext(ctx context.Context, opts Options) (*Result, error) {
 			}
 			return q, quantizedSize(q), nil
 		})
+	sp2.End()
 	if err != nil {
 		return nil, err
 	}
@@ -351,6 +388,7 @@ func PredictContext(ctx context.Context, opts Options) (*Result, error) {
 	preprocess := time.Since(preStart)
 
 	// Step 3: GPU downscaling.
+	_, sp3 := obs.StartSpan(ctx, "step3_downscale")
 	k := opts.K
 	if k == 0 {
 		k = config.DownscaleFactor(opts.Config)
@@ -362,17 +400,24 @@ func PredictContext(ctx context.Context, opts Options) (*Result, error) {
 	if k > 1 {
 		cfg, err = opts.Config.Downscale(k)
 		if err != nil {
+			sp3.End()
 			return nil, err
 		}
 	}
+	sp3.SetAttr("k", k)
+	root.SetAttr("k", k)
+	sp3.End()
 
 	// Step 4: image-plane division.
+	_, sp4 := obs.StartSpan(ctx, "step4_partition")
 	var groups []partition.Group
 	if opts.Division == FineGrained {
 		groups, err = partition.Fine(wl.Width, wl.Height, k, opts.ChunkW, opts.ChunkH)
 	} else {
 		groups, err = partition.Coarse(wl.Width, wl.Height, k, opts.BlockW, opts.BlockH)
 	}
+	sp4.SetAttr("groups", len(groups))
+	sp4.End()
 	if err != nil {
 		return nil, err
 	}
@@ -381,6 +426,7 @@ func PredictContext(ctx context.Context, opts Options) (*Result, error) {
 	}
 
 	// Step 5: representative pixel selection per group.
+	_, sp5 := obs.StartSpan(ctx, "step5_select")
 	rootRNG := vecmath.NewRNG(opts.Seed)
 	type groupPlan struct {
 		pixels   []int32
@@ -399,6 +445,7 @@ func PredictContext(ctx context.Context, opts Options) (*Result, error) {
 		}
 		sel, err := sampling.Select(quant, g, frac, opts.Dist, rootRNG.Split(uint64(gi)+100))
 		if err != nil {
+			sp5.End()
 			return nil, fmt.Errorf("core: group %d: %w", gi, err)
 		}
 		keep := make(map[int32]bool, len(sel.Pixels))
@@ -407,6 +454,7 @@ func PredictContext(ctx context.Context, opts Options) (*Result, error) {
 		}
 		plans[gi] = groupPlan{pixels: g.AllPixels(), selected: keep, fraction: sel.Fraction}
 	}
+	sp5.End()
 
 	// Step 6: one downscaled simulator instance per group, scheduled on the
 	// bounded worker pool. Serial mode is the one-worker pool, so ordering
@@ -437,17 +485,22 @@ func PredictContext(ctx context.Context, opts Options) (*Result, error) {
 		job = faults.Wrap(inj, job)
 	}
 	simStart := time.Now()
-	results, jobErr := runner.MapPolicy(ctx, len(groups), runner.Policy{
+	s6ctx, sp6 := obs.StartSpan(ctx, "step6_simulate")
+	results, jobErr := runner.MapPolicy(s6ctx, len(groups), runner.Policy{
 		Workers:     workers,
 		MaxAttempts: opts.FT.Attempts,
 		Backoff:     opts.FT.Backoff,
 		Timeout:     opts.FT.Timeout,
 		JitterSeed:  opts.Seed,
+		SpanPrefix:  "group",
 	}, job)
+	sp6.SetAttr("workers", workers)
+	sp6.End()
 	elapsed := time.Since(simStart)
 
 	// Grade the fan-out: failed groups are recorded with their plan's
 	// shape so callers can still render them; survivors feed the merge.
+	_, sp7 := obs.StartSpan(ctx, "step7_combine")
 	total := len(groups)
 	runs := make([]GroupRun, total)
 	values := make([]combine.GroupValues, 0, total)
@@ -478,15 +531,21 @@ func PredictContext(ctx context.Context, opts Options) (*Result, error) {
 	// semantics); below quorum the aggregated failure is the result.
 	quorum := opts.FT.quorumFor(total)
 	survivors := total - len(failed)
+	mGroupFailures.Add(uint64(len(failed)))
 	if len(failed) > 0 && survivors < quorum {
-		return nil, fmt.Errorf("core: %d/%d groups failed, quorum %d unmet: %w",
+		err := fmt.Errorf("core: %d/%d groups failed, quorum %d unmet: %w",
 			len(failed), total, quorum, jobErr)
+		sp7.SetAttr("error", err)
+		sp7.End()
+		return nil, err
 	}
 
 	// Step 7: combine the survivors, re-weighting throughput when groups
 	// are missing.
 	predicted, err := combine.MergeDegraded(values, total)
 	if err != nil {
+		sp7.SetAttr("error", err)
+		sp7.End()
 		return nil, err
 	}
 	if opts.SingleGroup && k > 1 {
@@ -494,6 +553,8 @@ func PredictContext(ctx context.Context, opts Options) (*Result, error) {
 		// throughput is K times the measured slice.
 		predicted[metrics.IPC] *= float64(k)
 	}
+	sp7.SetAttr("survivors", survivors)
+	sp7.End()
 
 	res := &Result{
 		Predicted:      predicted,
@@ -502,7 +563,9 @@ func PredictContext(ctx context.Context, opts Options) (*Result, error) {
 		Quantized:      quant,
 		PreprocessTime: preprocess,
 	}
+	mPredictions.Inc()
 	if len(failed) > 0 {
+		mDegraded.Inc()
 		deg := &Degradation{
 			FailedGroups: failed,
 			GroupErrors:  make(map[int]error, len(failed)),

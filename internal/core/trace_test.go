@@ -1,0 +1,112 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"zatel/internal/config"
+	"zatel/internal/obs"
+	"zatel/internal/store"
+)
+
+// TestTraceStepSpansCoverWallTime is the tracing acceptance check: a traced
+// prediction records exactly one span per pipeline step, all parented on the
+// root "predict" span, and the seven step durations tile the prediction's
+// wall time (the steps run back-to-back, so their sum must account for
+// nearly all of the root span — anything less means untraced time).
+func TestTraceStepSpansCoverWallTime(t *testing.T) {
+	tr := obs.NewTracer()
+	ctx := obs.WithTracer(context.Background(), tr)
+	_, err := PredictContext(ctx, Options{
+		Config: config.MobileSoC(),
+		Scene:  "SPRNG",
+		Width:  48, Height: 48, SPP: 1,
+		Parallel: true,
+		Store:    store.New(0),
+	})
+	if err != nil {
+		t.Fatalf("PredictContext: %v", err)
+	}
+
+	spans := tr.Snapshot()
+	byName := map[string][]obs.SpanRecord{}
+	for _, s := range spans {
+		byName[s.Name] = append(byName[s.Name], s)
+	}
+	roots := byName["predict"]
+	if len(roots) != 1 {
+		t.Fatalf("got %d predict spans, want 1", len(roots))
+	}
+	root := roots[0]
+
+	var sum time.Duration
+	for _, name := range StepSpanNames {
+		got := byName[name]
+		if len(got) != 1 {
+			t.Fatalf("got %d %q spans, want 1", len(got), name)
+		}
+		s := got[0]
+		if s.Parent != root.ID {
+			t.Errorf("%s parent = %d, want root %d", name, s.Parent, root.ID)
+		}
+		if s.Start < root.Start || s.Start+s.Dur > root.Start+root.Dur+time.Millisecond {
+			t.Errorf("%s [%v +%v] escapes root [%v +%v]", name, s.Start, s.Dur, root.Start, root.Dur)
+		}
+		sum += s.Dur
+	}
+	if sum > root.Dur+time.Millisecond {
+		t.Errorf("step spans sum %v exceeds root %v", sum, root.Dur)
+	}
+	if sum < root.Dur*7/10 {
+		t.Errorf("step spans sum %v covers <70%% of root %v — untraced pipeline time", sum, root.Dur)
+	}
+
+	// The fan-out detail must be present too: per-group job spans under
+	// step6 with nested attempt spans, and the store spans under steps 1–2.
+	step6 := byName["step6_simulate"][0]
+	groups := byName["group[0]"]
+	if len(groups) != 1 || groups[0].Parent != step6.ID {
+		t.Errorf("group[0] spans = %+v, want exactly one under step6 (id %d)", groups, step6.ID)
+	}
+	if len(byName["attempt"]) == 0 {
+		t.Errorf("no attempt spans recorded under the group fan-out")
+	}
+	if len(byName["store.build"])+len(byName["store.hit"]) == 0 {
+		t.Errorf("no store spans recorded for workload/quantize artifacts")
+	}
+
+	// And the whole thing must export as valid Chrome trace_event JSON.
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatalf("export: %v", err)
+	}
+	var parsed struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatalf("trace export is not valid JSON: %v", err)
+	}
+	if len(parsed.TraceEvents) < len(StepSpanNames)+1 {
+		t.Fatalf("trace export has %d events, want at least %d", len(parsed.TraceEvents), len(StepSpanNames)+1)
+	}
+}
+
+// TestUntracedPredictRecordsNothing pins the zero-cost contract: without a
+// tracer on the context the pipeline must not record spans anywhere.
+func TestUntracedPredictRecordsNothing(t *testing.T) {
+	_, err := Predict(Options{
+		Config: config.MobileSoC(),
+		Scene:  "SPRNG",
+		Width:  32, Height: 32, SPP: 1,
+		Store: store.New(0),
+	})
+	if err != nil {
+		t.Fatalf("Predict: %v", err)
+	}
+	if tr := obs.FromContext(context.Background()); tr != nil {
+		t.Fatalf("background context unexpectedly carries a tracer")
+	}
+}

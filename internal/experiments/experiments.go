@@ -122,7 +122,10 @@ func (p PoolStats) Render(w io.Writer) {
 // only points cancelled before starting surface through Result.Err.
 func gridMap[T any](s Settings, n int, fn func(ctx context.Context, i int) (T, error)) ([]runner.Result[T], PoolStats, error) {
 	start := time.Now()
-	rs, err := runner.Map(s.context(), n, s.Workers, fn)
+	// SpanPrefix records one "point[i]" span per grid point when cmd/sweep
+	// attached a tracer to Settings.Ctx (-trace); each point's nested
+	// "predict" step spans hang below it.
+	rs, err := runner.MapPolicy(s.context(), n, runner.Policy{Workers: s.Workers, SpanPrefix: "point"}, fn)
 	stats := PoolStats{Jobs: n, Workers: runner.PoolSize(s.Workers), Wall: time.Since(start)}
 	stats.CPU, _ = runner.Totals(rs)
 	return rs, stats, err

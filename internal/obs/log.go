@@ -1,0 +1,77 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+	"sync/atomic"
+)
+
+// ParseLevel maps the -log-level flag values onto slog levels.
+func ParseLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "", "info":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	default:
+		return 0, fmt.Errorf("obs: unknown log level %q (want debug, info, warn or error)", s)
+	}
+}
+
+// SetupLogger installs the process-default slog logger all commands and the
+// service log through: level from the -log-level flag value, text handler
+// for humans or JSON for log pipelines (zateld -log-format json).
+func SetupLogger(w io.Writer, level string, jsonFormat bool) (*slog.Logger, error) {
+	lv, err := ParseLevel(level)
+	if err != nil {
+		return nil, err
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	var h slog.Handler
+	if jsonFormat {
+		h = slog.NewJSONHandler(w, opts)
+	} else {
+		h = slog.NewTextHandler(w, opts)
+	}
+	l := slog.New(h)
+	slog.SetDefault(l)
+	return l, nil
+}
+
+// reqCounter backs NewRequestID when the system randomness source fails.
+var reqCounter atomic.Uint64
+
+// NewRequestID returns a fresh 16-hex-character request correlation ID.
+// zateld assigns one to every request that does not already carry an
+// X-Zatel-Request-Id header; it flows through logs, error bodies and trace
+// exports so one ID ties all three together.
+func NewRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return fmt.Sprintf("fallback-%012x", reqCounter.Add(1))
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// WithRequestID attaches a request ID to the context.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, requestIDKey, id)
+}
+
+// RequestID returns the context's request ID ("" when none is attached).
+func RequestID(ctx context.Context) string {
+	if ctx == nil {
+		return ""
+	}
+	id, _ := ctx.Value(requestIDKey).(string)
+	return id
+}

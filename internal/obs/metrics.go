@@ -1,0 +1,102 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric, safe for concurrent use.
+// Obtain one with NewCounter; it registers in the process-wide registry
+// WritePrometheus exposes.
+type Counter struct {
+	name, help string
+	v          atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current total.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a settable signed metric, safe for concurrent use.
+type Gauge struct {
+	name, help string
+	v          atomic.Int64
+}
+
+// Add moves the gauge by n (negative to decrease).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// registry is the process-wide metric set. Registration happens at package
+// init across the repo (runner, core), exposition in zateld's /metrics.
+var registry = struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+}{
+	counters: map[string]*Counter{},
+	gauges:   map[string]*Gauge{},
+}
+
+// NewCounter registers (or returns the already-registered) counter under
+// name. Metric names follow Prometheus conventions and every exported name
+// must be documented in OPERATIONS.md (enforced by scripts/lint_docs.sh).
+func NewCounter(name, help string) *Counter {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	if c, ok := registry.counters[name]; ok {
+		return c
+	}
+	c := &Counter{name: name, help: help}
+	registry.counters[name] = c
+	return c
+}
+
+// NewGauge registers (or returns the already-registered) gauge under name.
+func NewGauge(name, help string) *Gauge {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	if g, ok := registry.gauges[name]; ok {
+		return g
+	}
+	g := &Gauge{name: name, help: help}
+	registry.gauges[name] = g
+	return g
+}
+
+// WritePrometheus writes every registered counter and gauge in Prometheus
+// text exposition format, sorted by name for deterministic output.
+func WritePrometheus(w io.Writer) {
+	registry.mu.Lock()
+	counters := make([]*Counter, 0, len(registry.counters))
+	for _, c := range registry.counters {
+		counters = append(counters, c)
+	}
+	gauges := make([]*Gauge, 0, len(registry.gauges))
+	for _, g := range registry.gauges {
+		gauges = append(gauges, g)
+	}
+	registry.mu.Unlock()
+
+	sort.Slice(counters, func(i, j int) bool { return counters[i].name < counters[j].name })
+	sort.Slice(gauges, func(i, j int) bool { return gauges[i].name < gauges[j].name })
+	for _, c := range counters {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", c.name, c.help, c.name, c.name, c.Value())
+	}
+	for _, g := range gauges {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", g.name, g.help, g.name, g.name, g.Value())
+	}
+}

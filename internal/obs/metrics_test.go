@@ -1,0 +1,72 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeRegistry(t *testing.T) {
+	c := NewCounter("test_obs_events_total", "test counter")
+	c2 := NewCounter("test_obs_events_total", "redefinition ignored")
+	if c != c2 {
+		t.Fatalf("re-registering a counter returned a different instance")
+	}
+	g := NewGauge("test_obs_depth", "test gauge")
+
+	before := c.Value()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				c.Inc()
+				g.Add(1)
+				g.Add(-1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value() - before; got != 800 {
+		t.Errorf("counter advanced by %d, want 800", got)
+	}
+	if g.Value() != 0 {
+		t.Errorf("gauge = %d, want 0", g.Value())
+	}
+
+	var b strings.Builder
+	WritePrometheus(&b)
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE test_obs_events_total counter",
+		"# TYPE test_obs_depth gauge",
+		"test_obs_depth 0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRequestID(t *testing.T) {
+	a, b := NewRequestID(), NewRequestID()
+	if a == b {
+		t.Fatalf("two request IDs collided: %s", a)
+	}
+	if len(a) != 16 {
+		t.Fatalf("request ID %q not 16 hex chars", a)
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	for in, ok := range map[string]bool{
+		"debug": true, "info": true, "warn": true, "warning": true,
+		"error": true, "": true, "DEBUG": true, "verbose": false,
+	} {
+		_, err := ParseLevel(in)
+		if ok != (err == nil) {
+			t.Errorf("ParseLevel(%q) err=%v, want ok=%v", in, err, ok)
+		}
+	}
+}

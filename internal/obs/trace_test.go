@@ -1,0 +1,262 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock returns a clock that advances one millisecond per reading, so
+// span timings (and therefore the Chrome export) are fully deterministic.
+func fakeClock() func() time.Time {
+	base := time.Unix(1000, 0)
+	n := 0
+	return func() time.Time {
+		n++
+		return base.Add(time.Duration(n) * time.Millisecond)
+	}
+}
+
+func newFakeTracer() *Tracer {
+	t := NewTracer()
+	t.clock = fakeClock()
+	t.epoch = t.clock()
+	return t
+}
+
+func TestSpanNesting(t *testing.T) {
+	tr := NewTracer()
+	ctx := WithTracer(context.Background(), tr)
+
+	ctx1, root := StartSpan(ctx, "predict")
+	root.SetAttr("scene", "PARK")
+	ctx2, child := StartSpan(ctx1, "step1_profile")
+	_, grand := StartSpan(ctx2, "store.build")
+	grand.End()
+	child.End()
+	root.End()
+
+	spans := tr.Snapshot()
+	if len(spans) != 3 {
+		t.Fatalf("got %d spans, want 3", len(spans))
+	}
+	byName := map[string]SpanRecord{}
+	for _, s := range spans {
+		byName[s.Name] = s
+	}
+	if byName["predict"].Parent != 0 {
+		t.Errorf("root parent = %d, want 0", byName["predict"].Parent)
+	}
+	if got, want := byName["step1_profile"].Parent, byName["predict"].ID; got != want {
+		t.Errorf("child parent = %d, want %d", got, want)
+	}
+	if got, want := byName["store.build"].Parent, byName["step1_profile"].ID; got != want {
+		t.Errorf("grandchild parent = %d, want %d", got, want)
+	}
+	if byName["predict"].Attrs["scene"] != "PARK" {
+		t.Errorf("attrs = %v, want scene=PARK", byName["predict"].Attrs)
+	}
+}
+
+func TestNoTracerIsInert(t *testing.T) {
+	ctx := context.Background()
+	ctx2, sp := StartSpan(ctx, "anything")
+	if sp != nil {
+		t.Fatalf("StartSpan without tracer returned non-nil span")
+	}
+	if ctx2 != ctx {
+		t.Fatalf("StartSpan without tracer returned a new context")
+	}
+	// All nil-span methods must no-op rather than panic.
+	sp.SetAttr("k", "v")
+	sp.End()
+	sp.End()
+	if FromContext(ctx) != nil {
+		t.Fatalf("FromContext on bare context not nil")
+	}
+	if got := (*Tracer)(nil).Snapshot(); got != nil {
+		t.Fatalf("nil tracer Snapshot = %v, want nil", got)
+	}
+}
+
+func TestSpanEndIdempotent(t *testing.T) {
+	tr := NewTracer()
+	ctx := WithTracer(context.Background(), tr)
+	_, sp := StartSpan(ctx, "once")
+	sp.End()
+	sp.End()
+	sp.SetAttr("late", true) // after End: dropped, not racy
+	if n := len(tr.Snapshot()); n != 1 {
+		t.Fatalf("double End recorded %d spans, want 1", n)
+	}
+	if attrs := tr.Snapshot()[0].Attrs; attrs["late"] != "" {
+		t.Fatalf("SetAttr after End leaked: %v", attrs)
+	}
+}
+
+// TestConcurrentSpans hammers one tracer from many goroutines — the shape
+// of the step-6 worker pool — and is meaningful under -race.
+func TestConcurrentSpans(t *testing.T) {
+	tr := NewTracer()
+	ctx := WithTracer(context.Background(), tr)
+	rootCtx, root := StartSpan(ctx, "root")
+
+	const workers, jobs = 8, 25
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		lane := tr.Lane(fmt.Sprintf("worker %d", w))
+		go func() {
+			defer wg.Done()
+			for j := 0; j < jobs; j++ {
+				jctx, sp := StartSpan(rootCtx, "job", InLane(lane))
+				sp.SetAttr("j", j)
+				_, inner := StartSpan(jctx, "attempt")
+				inner.End()
+				sp.End()
+			}
+		}()
+	}
+	wg.Wait()
+	root.End()
+
+	spans := tr.Snapshot()
+	if want := workers*jobs*2 + 1; len(spans) != want {
+		t.Fatalf("got %d spans, want %d", len(spans), want)
+	}
+	ids := map[int64]bool{}
+	for _, s := range spans {
+		if ids[s.ID] {
+			t.Fatalf("duplicate span ID %d", s.ID)
+		}
+		ids[s.ID] = true
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatalf("export: %v", err)
+	}
+}
+
+func TestDurations(t *testing.T) {
+	tr := newFakeTracer()
+	ctx := WithTracer(context.Background(), tr)
+	// Clock: each reading +1ms. StartSpan reads once, End reads once.
+	_, a := StartSpan(ctx, "a") // start 1ms after epoch
+	a.End()                     // dur 1ms
+	_, b := StartSpan(ctx, "a")
+	b.End()
+	_, c := StartSpan(ctx, "b")
+	c.End()
+	d := tr.Durations()
+	if d["a"] != 2*time.Millisecond {
+		t.Errorf(`Durations["a"] = %v, want 2ms`, d["a"])
+	}
+	if d["b"] != time.Millisecond {
+		t.Errorf(`Durations["b"] = %v, want 1ms`, d["b"])
+	}
+}
+
+// goldenTrace is the exact Chrome trace_event JSON the fake-clock scenario
+// below must export: byte-for-byte stability is the contract that keeps
+// traces loadable across refactors.
+const goldenTrace = `{
+ "traceEvents": [
+  {
+   "name": "thread_name",
+   "ph": "M",
+   "ts": 0,
+   "pid": 1,
+   "tid": 0,
+   "args": {
+    "name": "pipeline"
+   }
+  },
+  {
+   "name": "thread_name",
+   "ph": "M",
+   "ts": 0,
+   "pid": 1,
+   "tid": 1,
+   "args": {
+    "name": "worker 0"
+   }
+  },
+  {
+   "name": "predict",
+   "cat": "zatel",
+   "ph": "X",
+   "ts": 1000,
+   "dur": 5000,
+   "pid": 1,
+   "tid": 0,
+   "args": {
+    "scene": "SPRNG"
+   }
+  },
+  {
+   "name": "group[0]",
+   "cat": "zatel",
+   "ph": "X",
+   "ts": 2000,
+   "dur": 3000,
+   "pid": 1,
+   "tid": 1
+  },
+  {
+   "name": "attempt",
+   "cat": "zatel",
+   "ph": "X",
+   "ts": 3000,
+   "dur": 1000,
+   "pid": 1,
+   "tid": 1
+  }
+ ],
+ "displayTimeUnit": "ms",
+ "metadata": {
+  "request_id": "deadbeef00000000"
+ }
+}
+`
+
+func TestChromeTraceGolden(t *testing.T) {
+	tr := newFakeTracer()
+	tr.SetMeta("request_id", "deadbeef00000000")
+	ctx := WithTracer(context.Background(), tr)
+
+	rctx, root := StartSpan(ctx, "predict") // start epoch+1ms
+	root.SetAttr("scene", "SPRNG")
+	lane := tr.Lane("worker 0")
+	gctx, g := StartSpan(rctx, "group[0]", InLane(lane)) // epoch+2ms
+	_, a := StartSpan(gctx, "attempt")                   // epoch+3ms
+	a.End()                                              // ends epoch+4ms: dur 1ms
+	g.End()                                              // ends epoch+5ms: dur 3ms
+	root.End()                                           // ends epoch+6ms: dur 5ms
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatalf("export: %v", err)
+	}
+	got := buf.String()
+	if got != goldenTrace {
+		t.Errorf("golden mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, goldenTrace)
+	}
+
+	// Belt and braces: the export must be valid JSON with the object keys
+	// Chrome/Perfetto require.
+	var parsed map[string]any
+	if err := json.Unmarshal([]byte(got), &parsed); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if _, ok := parsed["traceEvents"].([]any); !ok {
+		t.Fatalf("export lacks traceEvents array")
+	}
+	if !strings.Contains(got, `"request_id": "deadbeef00000000"`) {
+		t.Fatalf("metadata lost in export")
+	}
+}

@@ -28,7 +28,22 @@ import (
 	"sync"
 	"time"
 
+	"zatel/internal/obs"
 	"zatel/internal/vecmath"
+)
+
+// Pool metrics, exposed through zateld's /metrics (see OPERATIONS.md for
+// the full reference). They aggregate across every pool in the process:
+// prediction group fan-outs and experiment grids alike.
+var (
+	mJobs = obs.NewCounter("zatel_runner_jobs_total",
+		"worker-pool jobs completed (all pools, success or failure)")
+	mRetries = obs.NewCounter("zatel_runner_retries_total",
+		"job attempts beyond each job's first (all pools)")
+	mFailures = obs.NewCounter("zatel_runner_job_failures_total",
+		"jobs that exhausted their attempts (all pools)")
+	mActive = obs.NewGauge("zatel_runner_active_workers",
+		"pool workers currently executing a job")
 )
 
 // Result records one job's outcome and timing.
@@ -111,6 +126,11 @@ type Policy struct {
 	// deadline to interrupt them; the attempt is failed and retried either
 	// way once it returns.
 	Timeout time.Duration
+	// SpanPrefix, when the caller's context carries an obs.Tracer, records
+	// one span per job named "<prefix>[<index>]" — each worker on its own
+	// trace lane — with nested "attempt" spans per try. Empty disables job
+	// spans even when a tracer is present.
+	SpanPrefix string
 }
 
 // backoffDelay computes the wait between attempt and attempt+1 of job
@@ -176,8 +196,14 @@ func MapPolicy[T any](ctx context.Context, n int, p Policy, fn func(ctx context.
 	submitted := time.Now()
 	jobs := make(chan int)
 	var wg sync.WaitGroup
+	tracer := obs.FromContext(ctx)
+	tracing := p.SpanPrefix != "" && tracer != nil
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
+		var lane int64
+		if tracing {
+			lane = tracer.Lane(fmt.Sprintf("worker %d", w))
+		}
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
@@ -187,9 +213,26 @@ func MapPolicy[T any](ctx context.Context, n int, p Policy, fn func(ctx context.
 					r.Err = err
 					continue
 				}
+				jctx, sp := ctx, (*obs.Span)(nil)
+				if tracing {
+					jctx, sp = obs.StartSpan(ctx, fmt.Sprintf("%s[%d]", p.SpanPrefix, i), obs.InLane(lane))
+					sp.SetAttr("queue_us", r.QueueTime.Microseconds())
+				}
+				mActive.Add(1)
 				start := time.Now()
-				r.Value, r.Attempts, r.Err = runAttempts(ctx, p, i, fn)
+				r.Value, r.Attempts, r.Err = runAttempts(jctx, p, i, fn)
 				r.WallTime = time.Since(start)
+				mActive.Add(-1)
+				mJobs.Inc()
+				if r.Attempts > 1 {
+					mRetries.Add(uint64(r.Attempts - 1))
+				}
+				sp.SetAttr("attempts", r.Attempts)
+				if r.Err != nil {
+					mFailures.Inc()
+					sp.SetAttr("error", r.Err)
+				}
+				sp.End()
 			}
 		}()
 	}
@@ -234,8 +277,17 @@ func runAttempts[T any](ctx context.Context, p Policy, i int, fn func(context.Co
 		if p.Timeout > 0 {
 			attemptCtx, cancel = context.WithTimeout(ctx, p.Timeout)
 		}
+		var asp *obs.Span
+		if p.SpanPrefix != "" {
+			attemptCtx, asp = obs.StartSpan(attemptCtx, "attempt")
+			asp.SetAttr("n", attempt)
+		}
 		v, err := runJob(attemptCtx, i, fn)
 		timedOut := attemptCtx.Err() != nil && ctx.Err() == nil
+		if err != nil {
+			asp.SetAttr("error", err)
+		}
+		asp.End()
 		cancel()
 		if err == nil {
 			return v, attempt, nil

@@ -1,10 +1,12 @@
 package service
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"strings"
 	"time"
@@ -12,6 +14,7 @@ import (
 	"zatel/internal/config"
 	"zatel/internal/core"
 	"zatel/internal/metrics"
+	"zatel/internal/obs"
 	"zatel/internal/sampling"
 	"zatel/internal/scene"
 )
@@ -84,11 +87,23 @@ type PredictResponse struct {
 	SimWallMs    float64 `json:"sim_wall_ms"`
 	TotalCPUMs   float64 `json:"total_cpu_ms"`
 	ElapsedMs    float64 `json:"elapsed_ms"`
+	// RequestID echoes the X-Zatel-Request-Id header: the server's log
+	// lines for this request carry the same ID.
+	RequestID string `json:"request_id"`
+	// Trace is the Chrome trace_event JSON of this request's pipeline
+	// execution, present only with ?trace=1. Save it to a file and load it
+	// in chrome://tracing or https://ui.perfetto.dev. A cache hit traces
+	// only the store lookup — the steps ran (and were traced) by whichever
+	// request built the artifact.
+	Trace json.RawMessage `json:"trace,omitempty"`
 }
 
-// errorBody is every non-2xx JSON payload.
+// errorBody is every non-2xx JSON payload: the message plus the request's
+// correlation ID, so a client-side error report and the server-side log
+// line it corresponds to can be matched without timestamps.
 type errorBody struct {
-	Error string `json:"error"`
+	Error     string `json:"error"`
+	RequestID string `json:"request_id,omitempty"`
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -99,8 +114,10 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	enc.Encode(v)
 }
 
-func writeError(w http.ResponseWriter, code int, msg string) {
-	writeJSON(w, code, errorBody{Error: msg})
+// writeError emits the structured JSON error body; the request ID comes
+// from the middleware via r's context.
+func writeError(w http.ResponseWriter, r *http.Request, code int, msg string) {
+	writeJSON(w, code, errorBody{Error: msg, RequestID: obs.RequestID(r.Context())})
 }
 
 // ConfigByName resolves the Table II configuration names accepted across
@@ -200,13 +217,14 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	reqStart := time.Now()
+	reqID := obs.RequestID(r.Context())
 	finish := func(code int) {
 		s.countRequest("predict", code)
 		s.histRequest.observe(time.Since(reqStart))
 	}
 	if s.draining.Load() {
 		finish(http.StatusServiceUnavailable)
-		writeError(w, http.StatusServiceUnavailable, "server draining")
+		writeError(w, r, http.StatusServiceUnavailable, "server draining")
 		return
 	}
 
@@ -215,13 +233,13 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
 		finish(http.StatusBadRequest)
-		writeError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
+		writeError(w, r, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
 		return
 	}
 	opts, err := s.optionsFor(&req)
 	if err != nil {
 		finish(http.StatusBadRequest)
-		writeError(w, http.StatusBadRequest, err.Error())
+		writeError(w, r, http.StatusBadRequest, err.Error())
 		return
 	}
 
@@ -230,6 +248,15 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	// a build this request runs itself.
 	ctx, cancel := context.WithTimeout(r.Context(), s.deadlineFor(req.TimeoutMs))
 	defer cancel()
+
+	// Every predict request carries a tracer. If this request ends up
+	// running the build, the tracer captures the seven step spans (feeding
+	// the per-step histograms); a hit or coalesced wait records only its
+	// store span. ?trace=1 returns the Chrome trace_event export inline.
+	wantTrace := r.URL.Query().Get("trace") == "1"
+	tr := obs.NewTracer()
+	tr.SetMeta("request_id", reqID)
+	ctx = obs.WithTracer(ctx, tr)
 
 	key := opts.CacheKey()
 	v, outcome, err := s.st.GetOrBuild(ctx, key, func(ctx context.Context) (any, int64, error) {
@@ -247,6 +274,14 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		}
 		return res, core.ResultSize(res), nil
 	})
+	// Whatever happened above, fold the step spans this request recorded
+	// (only a build records any) into the per-step latency histograms.
+	durations := tr.Durations()
+	for _, name := range core.StepSpanNames {
+		if d, ok := durations[name]; ok {
+			s.histStep[name].observe(d)
+		}
+	}
 	if err != nil {
 		code := http.StatusInternalServerError
 		switch {
@@ -259,7 +294,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 			code = http.StatusServiceUnavailable
 		}
 		finish(code)
-		writeError(w, code, err.Error())
+		writeError(w, r, code, err.Error())
 		return
 	}
 	res := v.(*core.Result)
@@ -276,6 +311,13 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		SimWallMs:    durMs(res.SimWallTime),
 		TotalCPUMs:   durMs(res.TotalCPUTime),
 		ElapsedMs:    durMs(time.Since(reqStart)),
+		RequestID:    reqID,
+	}
+	if wantTrace {
+		var buf bytes.Buffer
+		if err := tr.WriteChromeTrace(&buf); err == nil {
+			resp.Trace = json.RawMessage(buf.Bytes())
+		}
 	}
 	for _, m := range metrics.All() {
 		resp.Predicted[m.String()] = res.Predicted[m]
@@ -305,6 +347,15 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("X-Zatel-Cache", resp.Cache)
 	w.Header().Set("X-Zatel-Key", key.Short())
 	finish(http.StatusOK)
+	slog.Info("predict served",
+		"request_id", reqID,
+		"scene", opts.Scene,
+		"config", opts.Config.Name,
+		"cache", resp.Cache,
+		"key", key.Short(),
+		"degraded", resp.Degraded != nil,
+		"elapsed_ms", resp.ElapsedMs,
+	)
 	writeJSON(w, http.StatusOK, resp)
 }
 

@@ -20,6 +20,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"runtime"
 	"sort"
@@ -28,6 +29,8 @@ import (
 	"time"
 
 	"zatel/internal/config"
+	"zatel/internal/core"
+	"zatel/internal/obs"
 	"zatel/internal/scene"
 	"zatel/internal/store"
 )
@@ -93,6 +96,11 @@ type Server struct {
 	histRequest *histogram // end-to-end predict request latency
 	histBuild   *histogram // cold pipeline executions only
 	histWait    *histogram // admission-queue wait of builders
+
+	// histStep holds one latency histogram per pipeline step span name
+	// (core.StepSpanNames), fed from the per-build tracer; exposed as
+	// zatel_step_latency_seconds{step="..."}.
+	histStep map[string]*histogram
 }
 
 type reqKey struct {
@@ -113,6 +121,10 @@ func New(cfg Config) *Server {
 		histRequest: newHistogram(),
 		histBuild:   newHistogram(),
 		histWait:    newHistogram(),
+		histStep:    make(map[string]*histogram, len(core.StepSpanNames)),
+	}
+	for _, name := range core.StepSpanNames {
+		s.histStep[name] = newHistogram()
 	}
 	s.mux.HandleFunc("/v1/predict", s.handlePredict)
 	s.mux.HandleFunc("/v1/scenes", s.handleScenes)
@@ -122,8 +134,54 @@ func New(cfg Config) *Server {
 	return s
 }
 
-// Handler returns the root http.Handler.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the root http.Handler: the mux wrapped in the request-ID
+// and logging middleware. Every response carries X-Zatel-Request-Id (the
+// client's own, when it sent one, so IDs correlate across services), and
+// every request emits one structured log line — predictions at info,
+// read-only endpoints at debug.
+func (s *Server) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get(RequestIDHeader)
+		if id == "" {
+			id = obs.NewRequestID()
+		}
+		w.Header().Set(RequestIDHeader, id)
+		r = r.WithContext(obs.WithRequestID(r.Context(), id))
+
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		start := time.Now()
+		s.mux.ServeHTTP(sw, r)
+
+		lvl := slog.LevelDebug
+		if r.URL.Path == "/v1/predict" {
+			lvl = slog.LevelInfo
+		}
+		slog.Default().Log(r.Context(), lvl, "request",
+			"request_id", id,
+			"method", r.Method,
+			"path", r.URL.Path,
+			"status", sw.code,
+			"elapsed_ms", float64(time.Since(start))/1e6,
+		)
+	})
+}
+
+// RequestIDHeader is the request/response header carrying the per-request
+// correlation ID that also appears in log lines, error bodies and trace
+// exports.
+const RequestIDHeader = "X-Zatel-Request-Id"
+
+// statusWriter captures the response code for the request log line.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+// WriteHeader records the status before delegating.
+func (s *statusWriter) WriteHeader(code int) {
+	s.code = code
+	s.ResponseWriter.WriteHeader(code)
+}
 
 // Store exposes the artifact store (tests and metrics).
 func (s *Server) Store() *store.Store { return s.st }
@@ -292,6 +350,17 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.histRequest.writeProm(w, "zatel_stage_latency_seconds", `stage="request"`)
 	s.histBuild.writeProm(w, "zatel_stage_latency_seconds", `stage="build"`)
 	s.histWait.writeProm(w, "zatel_stage_latency_seconds", `stage="admission_wait"`)
+
+	// Per-pipeline-step latencies, one series per step span of DESIGN.md's
+	// taxonomy, fed from the tracer of each request that ran a build.
+	fmt.Fprintf(w, "# HELP zatel_step_latency_seconds per-pipeline-step latency of cold builds\n# TYPE zatel_step_latency_seconds histogram\n")
+	for _, name := range core.StepSpanNames {
+		s.histStep[name].writeProm(w, "zatel_step_latency_seconds", fmt.Sprintf("step=%q", name))
+	}
+
+	// Process-wide registry: runner pool occupancy/retries and core
+	// pipeline counters (see internal/obs and OPERATIONS.md).
+	obs.WritePrometheus(w)
 }
 
 func boolGauge(b bool) int64 {
@@ -304,5 +373,5 @@ func boolGauge(b bool) int64 {
 func (s *Server) methodNotAllowed(w http.ResponseWriter, r *http.Request, handler string, allow string) {
 	s.countRequest(handler, http.StatusMethodNotAllowed)
 	w.Header().Set("Allow", allow)
-	writeError(w, http.StatusMethodNotAllowed, fmt.Sprintf("method %s not allowed", r.Method))
+	writeError(w, r, http.StatusMethodNotAllowed, fmt.Sprintf("method %s not allowed", r.Method))
 }

@@ -13,6 +13,7 @@ import (
 	"testing"
 	"time"
 
+	"zatel/internal/core"
 	"zatel/internal/store"
 )
 
@@ -284,10 +285,128 @@ func TestMetricsExposition(t *testing.T) {
 		`zatel_stage_latency_seconds_bucket{stage="build",le="+Inf"} 1`,
 		`zatel_stage_latency_seconds_count{stage="request"} 2`,
 		"zatel_uptime_seconds",
+		`zatel_step_latency_seconds_bucket{step="step1_profile",le="+Inf"} 1`,
+		`zatel_step_latency_seconds_count{step="step7_combine"} 1`,
+		"zatel_predictions_total",
+		"zatel_runner_jobs_total",
+		"zatel_runner_active_workers",
 	} {
 		if !strings.Contains(page, want) {
 			t.Errorf("metrics page missing %q", want)
 		}
+	}
+}
+
+// TestRequestIDRoundTrip: a caller-supplied X-Zatel-Request-Id is echoed on
+// the response header and body; without one the server mints a 16-hex id.
+func TestRequestIDRoundTrip(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	const body = `{"scene":"SPRNG","config":"mobile","width":32,"height":32,"spp":1,"seed":7}`
+
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/predict", strings.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(RequestIDHeader, "req-roundtrip-1")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("POST: %v", err)
+	}
+	var pr PredictResponse
+	json.NewDecoder(resp.Body).Decode(&pr)
+	resp.Body.Close()
+	if got := resp.Header.Get(RequestIDHeader); got != "req-roundtrip-1" {
+		t.Errorf("response header %s = %q, want caller's id echoed", RequestIDHeader, got)
+	}
+	if pr.RequestID != "req-roundtrip-1" {
+		t.Errorf("body request_id = %q, want caller's id echoed", pr.RequestID)
+	}
+
+	// No header: the server mints one and reports it in both places.
+	resp2, pr2, _ := postPredict(t, ts.URL, body)
+	minted := resp2.Header.Get(RequestIDHeader)
+	if len(minted) != 16 {
+		t.Errorf("minted request id %q, want 16 hex chars", minted)
+	}
+	if pr2.RequestID != minted {
+		t.Errorf("body request_id %q != header %q", pr2.RequestID, minted)
+	}
+}
+
+// TestPredictTraceExport: ?trace=1 embeds a Chrome trace_event export in
+// the response whose metadata carries the request id and whose events
+// include every pipeline step span.
+func TestPredictTraceExport(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	const body = `{"scene":"SPRNG","config":"mobile","width":32,"height":32,"spp":1,"seed":9}`
+
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/predict?trace=1", strings.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(RequestIDHeader, "req-traced-1")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("POST: %v", err)
+	}
+	var pr PredictResponse
+	if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	resp.Body.Close()
+	if len(pr.Trace) == 0 {
+		t.Fatalf("trace=1 response has no trace field")
+	}
+	var trace struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+		} `json:"traceEvents"`
+		Metadata map[string]string `json:"metadata"`
+	}
+	if err := json.Unmarshal(pr.Trace, &trace); err != nil {
+		t.Fatalf("trace field is not valid Chrome trace JSON: %v", err)
+	}
+	if trace.Metadata["request_id"] != "req-traced-1" {
+		t.Errorf("trace metadata request_id = %q, want req-traced-1", trace.Metadata["request_id"])
+	}
+	names := map[string]bool{}
+	for _, ev := range trace.TraceEvents {
+		names[ev.Name] = true
+	}
+	for _, step := range core.StepSpanNames {
+		if !names[step] {
+			t.Errorf("trace export missing %s span", step)
+		}
+	}
+
+	// Without ?trace=1 the response must not carry the trace payload.
+	_, plain, _ := postPredict(t, ts.URL, body)
+	if len(plain.Trace) != 0 {
+		t.Errorf("untraced response carries a trace field (%d bytes)", len(plain.Trace))
+	}
+}
+
+// TestErrorBodyCarriesRequestID: error responses are structured JSON with
+// both the message and the request id, so clients can quote the id when
+// reporting failures.
+func TestErrorBodyCarriesRequestID(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/predict", strings.NewReader(`{"scene":"NOPE"}`))
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(RequestIDHeader, "req-err-1")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("POST: %v", err)
+	}
+	var eb struct {
+		Error     string `json:"error"`
+		RequestID string `json:"request_id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&eb); err != nil {
+		t.Fatalf("error body is not JSON: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("status %d, want 400", resp.StatusCode)
+	}
+	if eb.Error == "" || eb.RequestID != "req-err-1" {
+		t.Errorf("error body = %+v, want error message and request_id req-err-1", eb)
 	}
 }
 

@@ -7,6 +7,8 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+
+	"zatel/internal/obs"
 )
 
 // Outcome classifies how one GetOrBuild call was served.
@@ -130,15 +132,22 @@ func (s *Store) GetOrBuild(ctx context.Context, key Digest, build func(ctx conte
 		s.hits++
 		v := el.Value.(*entry).value
 		s.mu.Unlock()
+		_, sp := obs.StartSpan(ctx, "store.hit")
+		sp.SetAttr("key", key.Short())
+		sp.End()
 		return v, Hit, nil
 	}
 	if f, ok := s.inflight[key]; ok {
 		s.coalesced++
 		s.mu.Unlock()
+		_, sp := obs.StartSpan(ctx, "store.coalesce")
+		sp.SetAttr("key", key.Short())
+		defer sp.End()
 		select {
 		case <-f.done:
 			return f.value, Coalesced, f.err
 		case <-ctx.Done():
+			sp.SetAttr("error", ctx.Err())
 			return nil, Coalesced, ctx.Err()
 		}
 	}
@@ -148,7 +157,15 @@ func (s *Store) GetOrBuild(ctx context.Context, key Digest, build func(ctx conte
 	s.builds++
 	s.mu.Unlock()
 
-	v, size, err := runBuild(ctx, build)
+	bctx, sp := obs.StartSpan(ctx, "store.build")
+	sp.SetAttr("key", key.Short())
+	v, size, err := runBuild(bctx, build)
+	if err != nil {
+		sp.SetAttr("error", err)
+	} else {
+		sp.SetAttr("bytes", size)
+	}
+	sp.End()
 
 	s.mu.Lock()
 	delete(s.inflight, key)

@@ -1,0 +1,36 @@
+#!/bin/sh
+# Docs lint: every Go package must carry a doc comment, and every exported
+# Prometheus metric name must be documented in OPERATIONS.md. Run by
+# check.sh; exits non-zero listing each violation.
+set -eu
+cd "$(dirname "$0")/.."
+
+fail=0
+
+# 1. Package comments: each directory containing non-test Go files must have
+# at least one file whose doc comment starts "// Package ..." (libraries) or
+# "// Command ..." (main packages).
+for dir in $(find . -name '*.go' ! -name '*_test.go' ! -path './.git/*' \
+	-exec dirname {} \; | sort -u); do
+	if ! grep -l '^// \(Package\|Command\) ' "$dir"/*.go >/dev/null 2>&1; then
+		echo "lint: $dir has no package doc comment (want '// Package ...' or '// Command ...')" >&2
+		fail=1
+	fi
+done
+
+# 2. Metric documentation: every zatel_* series name referenced in non-test
+# source must appear in OPERATIONS.md. The _bucket/_sum/_count histogram
+# series are covered by documenting their base name.
+for metric in $(find . -name '*.go' ! -name '*_test.go' ! -path './.git/*' \
+	-exec grep -hoE 'zatel_[a-z_]+' {} + |
+	sed -e 's/_bucket$//' -e 's/_sum$//' -e 's/_count$//' | sort -u); do
+	if ! grep -q "$metric" OPERATIONS.md; then
+		echo "lint: metric $metric is exported but not documented in OPERATIONS.md" >&2
+		fail=1
+	fi
+done
+
+if [ "$fail" -ne 0 ]; then
+	exit 1
+fi
+echo "docs lint: OK"

@@ -1,11 +1,13 @@
 #!/bin/sh
 # zateld smoke test: boot the daemon, serve a cold prediction, assert the
 # identical repeat is served as a store hit (response field and /metrics
-# counter), then SIGTERM-drain and require a clean exit.
+# counter), check the observability surface (request ids, ?trace=1, pprof,
+# per-step histograms), then SIGTERM-drain and require a clean exit.
 set -eu
 cd "$(dirname "$0")/.."
 
 ADDR="${ZATELD_SMOKE_ADDR:-127.0.0.1:17717}"
+DEBUG_ADDR="${ZATELD_SMOKE_DEBUG_ADDR:-127.0.0.1:17718}"
 TMP="$(mktemp -d)"
 PID=""
 cleanup() {
@@ -15,7 +17,7 @@ cleanup() {
 trap cleanup EXIT
 
 go build -o "$TMP/zateld" ./cmd/zateld
-"$TMP/zateld" -addr "$ADDR" -store-size 256MiB >"$TMP/zateld.log" 2>&1 &
+"$TMP/zateld" -addr "$ADDR" -debug-addr "$DEBUG_ADDR" -store-size 256MiB >"$TMP/zateld.log" 2>&1 &
 PID=$!
 
 i=0
@@ -31,10 +33,27 @@ done
 
 BODY='{"scene":"SPRNG","config":"mobile","width":48,"height":48,"spp":1}'
 
-R1="$(curl -fsS -X POST -d "$BODY" "http://$ADDR/v1/predict")"
+# The first (cold) predict runs the full pipeline; ask for its span trace
+# and pass a request id so we can assert both round-trip.
+R1="$(curl -fsS -D "$TMP/headers1" -X POST -H 'X-Zatel-Request-Id: smoke-cold-1' \
+	-d "$BODY" "http://$ADDR/v1/predict?trace=1")"
 echo "$R1" | grep -q '"cache": "miss"' || { echo "smoke: first predict not a miss: $R1" >&2; exit 1; }
 echo "$R1" | grep -q '"GPU IPC"' || { echo "smoke: prediction missing metrics: $R1" >&2; exit 1; }
 echo "$R1" | grep -q '"key"' || { echo "smoke: prediction missing key: $R1" >&2; exit 1; }
+echo "$R1" | grep -q '"request_id": "smoke-cold-1"' \
+	|| { echo "smoke: request id did not round-trip in the body" >&2; exit 1; }
+grep -iq '^x-zatel-request-id: smoke-cold-1' "$TMP/headers1" \
+	|| { echo "smoke: request id did not round-trip in the header" >&2; exit 1; }
+echo "$R1" | grep -q '"traceEvents"' \
+	|| { echo "smoke: ?trace=1 response carries no trace" >&2; exit 1; }
+echo "$R1" | grep -q 'step6_simulate' \
+	|| { echo "smoke: trace carries no pipeline step spans" >&2; exit 1; }
+
+# pprof must serve while the daemon handles predictions.
+curl -fsS "http://$DEBUG_ADDR/debug/pprof/" | grep -q goroutine \
+	|| { echo "smoke: /debug/pprof/ index not served" >&2; exit 1; }
+curl -fsS "http://$DEBUG_ADDR/debug/pprof/goroutine?debug=1" | grep -q goroutine \
+	|| { echo "smoke: goroutine profile not served" >&2; exit 1; }
 
 R2="$(curl -fsS -X POST -d "$BODY" "http://$ADDR/v1/predict")"
 echo "$R2" | grep -q '"cache": "hit"' || { echo "smoke: second predict not a hit: $R2" >&2; exit 1; }
@@ -42,6 +61,12 @@ echo "$R2" | grep -q '"cache": "hit"' || { echo "smoke: second predict not a hit
 METRICS="$(curl -fsS "http://$ADDR/metrics")"
 echo "$METRICS" | grep -Eq '^zatel_store_hits_total [1-9]' \
 	|| { echo "smoke: /metrics shows no store hit" >&2; exit 1; }
+echo "$METRICS" | grep -q 'zatel_step_latency_seconds_bucket{step="step1_profile"' \
+	|| { echo "smoke: /metrics missing per-step histograms" >&2; exit 1; }
+echo "$METRICS" | grep -Eq 'zatel_step_latency_seconds_count\{step="step7_combine"\} [1-9]' \
+	|| { echo "smoke: step histograms saw no cold build" >&2; exit 1; }
+echo "$METRICS" | grep -q '^zatel_predictions_total' \
+	|| { echo "smoke: /metrics missing core pipeline counters" >&2; exit 1; }
 
 kill -TERM "$PID"
 if ! wait "$PID"; then
