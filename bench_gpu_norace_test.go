@@ -1,0 +1,6 @@
+//go:build !race
+
+package zatel_test
+
+// raceEnabled mirrors the -race build tag; see bench_gpu_race_test.go.
+const raceEnabled = false

@@ -1,0 +1,9 @@
+//go:build race
+
+package zatel_test
+
+// Race-detector instrumentation slows the simulator ~7x and multiplies its
+// allocation count, so comparing against the uninstrumented baselines would
+// only measure the instrumentation. The capture run (run_capture.sh) gates
+// the real numbers without -race.
+const raceEnabled = true

@@ -9,6 +9,15 @@ go vet ./...
 go build ./...
 go test -race -timeout 10m ./...
 
+# Short-mode perf smoke: the cycle-exactness golden matrix and the warm
+# pooled-allocation test under the race detector, so a pooling bug that
+# shares simulator state across goroutines or drifts a report is caught
+# here, not in the benchmark capture (see DESIGN.md "Performance
+# engineering").
+go test -race -short -timeout 10m \
+	-run 'TestCycleExactGolden|TestWarmRunAllocs' \
+	./internal/gpu/
+
 # Short-mode fault-injection soak: retries, deadlines, quorum degradation
 # and the injector itself under the race detector (see DESIGN.md "Failure
 # semantics").

@@ -4,7 +4,8 @@
 //
 // Usage:
 //
-//	sweep [-res 256] [-spp 1] [-config rtx2060] [-reps 5] [-trace grid.json] <experiment>
+//	sweep [-res 256] [-spp 1] [-config rtx2060] [-reps 5] [-trace grid.json]
+//	      [-cpuprofile cpu.pprof] [-memprofile mem.pprof] <experiment>
 //
 // Experiments: fig10 fig11 table3 fig13 fig14 fig15 fig16 fig17 fig18
 // fig19 fig20 all
@@ -54,8 +55,10 @@ func main() {
 		injMean     = flag.Duration("inject-straggle-mean", 50*time.Millisecond, "fault injection: mean straggler delay")
 		injSeed     = flag.Uint64("inject-seed", 1, "fault injection: decision seed")
 
-		traceFile = flag.String("trace", "", "write a Chrome trace_event JSON of the experiment grid to this file")
-		logLevel  = flag.String("log-level", "info", "log verbosity: debug, info, warn or error")
+		traceFile  = flag.String("trace", "", "write a Chrome trace_event JSON of the experiment grid to this file")
+		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
+		logLevel   = flag.String("log-level", "info", "log verbosity: debug, info, warn or error")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -63,6 +66,14 @@ func main() {
 	}
 
 	if _, err := obs.SetupLogger(os.Stderr, *logLevel, false); err != nil {
+		fatal(err)
+	}
+
+	// Profiles flush on every exit path, interrupt included, like -trace:
+	// fatal() and the explicit exit points below all run stopProfiles.
+	var err error
+	stopProfiles, err = obs.StartProfiles(*cpuProfile, *memProfile)
+	if err != nil {
 		fatal(err)
 	}
 
@@ -136,6 +147,7 @@ func main() {
 		fmt.Println()
 		if ctx.Err() != nil {
 			flushTrace()
+			stopProfiles()
 			fmt.Fprintln(os.Stderr, "sweep: interrupted — partial results above")
 			os.Exit(130)
 		}
@@ -146,11 +158,17 @@ func main() {
 			run(name)
 		}
 		flushTrace()
+		stopProfiles()
 		return
 	}
 	run(which)
 	flushTrace()
+	stopProfiles()
 }
+
+// stopProfiles flushes the -cpuprofile/-memprofile outputs; fatal and every
+// explicit exit path call it (idempotently) so profiles survive any exit.
+var stopProfiles = func() {}
 
 // sweepCache shares one percentage sweep across fig13–fig16.
 var sweepCache *experiments.SweepResult
@@ -253,6 +271,7 @@ func usage() {
 }
 
 func fatal(err error) {
+	stopProfiles()
 	fmt.Fprintln(os.Stderr, "sweep:", err)
 	os.Exit(1)
 }

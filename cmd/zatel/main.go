@@ -62,14 +62,25 @@ func main() {
 		injMean     = flag.Duration("inject-straggle-mean", 50*time.Millisecond, "fault injection: mean straggler delay")
 		injSeed     = flag.Uint64("inject-seed", 1, "fault injection: decision seed")
 
-		traceFile = flag.String("trace", "", "write a Chrome trace_event JSON of the pipeline to this file (open in chrome://tracing or Perfetto)")
-		logLevel  = flag.String("log-level", "info", "log verbosity: debug, info, warn or error")
+		traceFile  = flag.String("trace", "", "write a Chrome trace_event JSON of the pipeline to this file (open in chrome://tracing or Perfetto)")
+		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
+		logLevel   = flag.String("log-level", "info", "log verbosity: debug, info, warn or error")
 	)
 	flag.Parse()
 
 	if _, err := obs.SetupLogger(os.Stderr, *logLevel, false); err != nil {
 		fatal(err)
 	}
+
+	// Profiles flush on every exit path, interrupt included, like -trace:
+	// fatal() and the interrupt exit below both run stopProfiles.
+	var perr error
+	stopProfiles, perr = obs.StartProfiles(*cpuProfile, *memProfile)
+	if perr != nil {
+		fatal(perr)
+	}
+	defer stopProfiles()
 
 	// The workload trace, quantized heatmap and any repeat predictions all
 	// flow through the process-wide artifact store; -store-size bounds it.
@@ -153,6 +164,7 @@ func main() {
 	}
 	if err != nil {
 		if ctx.Err() != nil || errors.Is(err, context.Canceled) {
+			stopProfiles()
 			fmt.Fprintln(os.Stderr, "zatel: interrupted")
 			os.Exit(130)
 		}
@@ -230,7 +242,12 @@ func configByName(name string) (config.Config, error) {
 	}
 }
 
+// stopProfiles flushes the -cpuprofile/-memprofile outputs; fatal and the
+// interrupt exit call it (idempotently) so profiles survive any exit.
+var stopProfiles = func() {}
+
 func fatal(err error) {
+	stopProfiles()
 	fmt.Fprintln(os.Stderr, "zatel:", err)
 	os.Exit(1)
 }

@@ -242,3 +242,55 @@ func TestStatsSane(t *testing.T) {
 		t.Errorf("depth %d too deep for %d nodes", st.MaxDepth, st.Nodes)
 	}
 }
+
+// TestPackedTraversalMatchesClosure is the exactness contract of the
+// closure-free traversal: for every ray, IntersectPacked/IntersectAnyPacked
+// must record the identical step sequence the visit-callback variants
+// report, and return identical results. The GPU model replays these steps
+// cycle by cycle, so any ordering difference would change simulated timing.
+func TestPackedTraversalMatchesClosure(t *testing.T) {
+	for _, name := range []string{"BUNNY", "SPNZA", "CHSNT"} {
+		s, b := buildScene(t, name)
+		cam := s.Cam
+		cam.Finalize(1)
+		rng := vecmath.NewRNG(7)
+		packed := make([]uint32, 0, 256)
+		for i := 0; i < 400; i++ {
+			r := cam.Ray(rng.Float32(), rng.Float32())
+
+			var want []uint32
+			visit := func(st Step) { want = append(want, PackStep(st.Node, st.TriTests)) }
+
+			packed = packed[:0]
+			if i%2 == 0 {
+				hitC, okC := b.Intersect(r, visit)
+				hitP, okP := b.IntersectPacked(r, &packed)
+				if hitC != hitP || okC != okP {
+					t.Fatalf("%s ray %d: Intersect (%+v,%v) != IntersectPacked (%+v,%v)",
+						name, i, hitC, okC, hitP, okP)
+				}
+			} else {
+				okC := b.IntersectAny(r, visit)
+				okP := b.IntersectAnyPacked(r, &packed)
+				if okC != okP {
+					t.Fatalf("%s ray %d: IntersectAny %v != IntersectAnyPacked %v", name, i, okC, okP)
+				}
+			}
+			if len(want) != len(packed) {
+				t.Fatalf("%s ray %d: %d closure steps, %d packed steps", name, i, len(want), len(packed))
+			}
+			for j := range want {
+				if want[j] != packed[j] {
+					t.Fatalf("%s ray %d step %d: closure %#x packed %#x", name, i, j, want[j], packed[j])
+				}
+			}
+		}
+	}
+}
+
+func TestPackStepRoundtrip(t *testing.T) {
+	n, tt := UnpackStep(PackStep(MaxPackedNode, 300))
+	if n != MaxPackedNode || tt != 255 {
+		t.Fatalf("roundtrip = (%d, %d)", n, tt)
+	}
+}

@@ -18,6 +18,32 @@ type Step struct {
 	TriTests int32
 }
 
+// Packed traversal step layout: node index in the high 24 bits, triangle
+// test count in the low 8. The encoding lives here (rather than in the
+// trace recorder) so traversal can append packed steps directly into a
+// workload's step arena without a per-node closure call; internal/rt
+// re-exports it for trace consumers. Tree sizes in this repository stay far
+// below 2^24 nodes; BuildWorkload enforces the limit.
+const (
+	stepNodeShift = 8
+	stepTriMask   = 0xff
+	// MaxPackedNode is the largest node index PackStep can represent.
+	MaxPackedNode = 1<<24 - 1
+)
+
+// PackStep encodes a traversal step. Triangle-test counts saturate at 255.
+func PackStep(node int32, triTests int32) uint32 {
+	if triTests > stepTriMask {
+		triTests = stepTriMask
+	}
+	return uint32(node)<<stepNodeShift | uint32(triTests)
+}
+
+// UnpackStep decodes a traversal step.
+func UnpackStep(s uint32) (node int32, triTests int32) {
+	return int32(s >> stepNodeShift), int32(s & stepTriMask)
+}
+
 // Hit describes the nearest intersection found.
 type Hit struct {
 	// T is the hit distance along the ray.
@@ -147,6 +173,127 @@ func (b *BVH) IntersectAny(r vecmath.Ray, visit func(Step)) bool {
 		if visit != nil {
 			visit(Step{Node: ni, Leaf: false})
 		}
+		li, ri := ni+1, node.Right
+		if _, ok := b.Nodes[li].Bounds.Hit(r); ok {
+			stack[sp] = li
+			sp++
+		}
+		if _, ok := b.Nodes[ri].Bounds.Hit(r); ok {
+			stack[sp] = ri
+			sp++
+		}
+	}
+	return false
+}
+
+// IntersectPacked is Intersect recording every fetched node as a packed
+// step appended to *steps. It visits nodes in exactly the order Intersect
+// reports to its callback — leaves after their triangle tests, interior
+// nodes before their children — but without the per-node indirect call,
+// which matters when tracing millions of rays into a workload arena.
+func (b *BVH) IntersectPacked(r vecmath.Ray, steps *[]uint32) (Hit, bool) {
+	best := Hit{T: r.TMax, Tri: -1, Slot: -1}
+	if len(b.Nodes) == 0 {
+		return best, false
+	}
+	if _, ok := b.Nodes[0].Bounds.Hit(r); !ok {
+		return best, false
+	}
+
+	var stack [maxStack]int32
+	sp := 0
+	stack[sp] = 0
+	sp++
+	out := *steps
+
+	for sp > 0 {
+		sp--
+		ni := stack[sp]
+		node := &b.Nodes[ni]
+
+		if node.Leaf() {
+			tests := int32(0)
+			for i := node.FirstTri; i < node.FirstTri+node.TriCount; i++ {
+				tests++
+				ti := b.TriIndex[i]
+				probe := r
+				probe.TMax = best.T
+				if t, ok := b.Tris[ti].Hit(probe); ok {
+					best = Hit{T: t, Tri: ti, Slot: i}
+				}
+			}
+			out = append(out, PackStep(ni, tests))
+			continue
+		}
+
+		out = append(out, PackStep(ni, 0))
+
+		li, ri := ni+1, node.Right
+		probe := r
+		probe.TMax = best.T
+		tl, hl := b.Nodes[li].Bounds.Hit(probe)
+		tr, hr := b.Nodes[ri].Bounds.Hit(probe)
+		switch {
+		case hl && hr:
+			if tl > tr {
+				li, ri = ri, li
+			}
+			stack[sp] = ri
+			sp++
+			stack[sp] = li
+			sp++
+		case hl:
+			stack[sp] = li
+			sp++
+		case hr:
+			stack[sp] = ri
+			sp++
+		}
+	}
+	*steps = out
+	return best, best.Tri >= 0
+}
+
+// IntersectAnyPacked is IntersectAny recording packed steps into *steps,
+// mirroring IntersectPacked's closure-free recording.
+func (b *BVH) IntersectAnyPacked(r vecmath.Ray, steps *[]uint32) bool {
+	if len(b.Nodes) == 0 {
+		return false
+	}
+	if _, ok := b.Nodes[0].Bounds.Hit(r); !ok {
+		return false
+	}
+
+	var stack [maxStack]int32
+	sp := 0
+	stack[sp] = 0
+	sp++
+	out := *steps
+	defer func() { *steps = out }()
+
+	for sp > 0 {
+		sp--
+		ni := stack[sp]
+		node := &b.Nodes[ni]
+
+		if node.Leaf() {
+			tests := int32(0)
+			hit := false
+			for i := node.FirstTri; i < node.FirstTri+node.TriCount; i++ {
+				tests++
+				if _, ok := b.Tris[b.TriIndex[i]].Hit(r); ok {
+					hit = true
+					break
+				}
+			}
+			out = append(out, PackStep(ni, tests))
+			if hit {
+				return true
+			}
+			continue
+		}
+
+		out = append(out, PackStep(ni, 0))
 		li, ri := ni+1, node.Right
 		if _, ok := b.Nodes[li].Bounds.Hit(r); ok {
 			stack[sp] = li

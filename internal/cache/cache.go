@@ -3,9 +3,19 @@
 // (16-way). The cache is a pure state machine over line addresses — hit
 // latencies, MSHR timing and fill scheduling are orchestrated by the timing
 // model in internal/gpu, which keeps this package trivially testable.
+//
+// Internally the tag array is a preallocated node pool with int32 LRU links
+// plus one flatmap over all sets: no per-fill allocation, no pointer
+// chasing through heap-scattered nodes, and Reset restores the empty state
+// without reallocating — all invisible to the simulated timing, which only
+// observes hit/miss/eviction outcomes and those are layout-independent.
 package cache
 
-import "fmt"
+import (
+	"fmt"
+
+	"zatel/internal/flatmap"
+)
 
 // Config sizes a cache instance.
 type Config struct {
@@ -42,26 +52,35 @@ func (s *Stats) Add(other Stats) {
 	s.Evictions += other.Evictions
 }
 
-// node is one resident line in a set's intrusive LRU list.
+// nilNode terminates LRU chains and the freelist.
+const nilNode = int32(-1)
+
+// node is one resident line; prev/next are indices into Cache.nodes, which
+// doubles as the freelist chain (via next) when the node is unused.
 type node struct {
 	line       uint64
-	prev, next *node
+	prev, next int32
+	set        int32
 }
 
-// set is one associativity set with an LRU replacement list.
-type set struct {
-	cap   int
-	lines map[uint64]*node
-	// head is the most recently used line, tail the eviction victim.
-	head, tail *node
+// lruSet is the per-set replacement state: head is the most recently used
+// node, tail the eviction victim.
+type lruSet struct {
+	head, tail int32
+	count      int32
 }
 
 // Cache is a single tag array.
 type Cache struct {
 	cfg     Config
-	sets    []set
 	numSets int
+	assoc   int
 	stats   Stats
+
+	table *flatmap.Map // line address -> node index
+	nodes []node       // one per cache line, preallocated
+	free  int32        // freelist head, chained through node.next
+	sets  []lruSet
 }
 
 // New validates cfg and returns an empty cache.
@@ -80,12 +99,33 @@ func New(cfg Config) (*Cache, error) {
 	if numLines%assoc != 0 {
 		return nil, fmt.Errorf("cache: %d lines not divisible by associativity %d", numLines, assoc)
 	}
-	numSets := numLines / assoc
-	c := &Cache{cfg: cfg, numSets: numSets, sets: make([]set, numSets)}
-	for i := range c.sets {
-		c.sets[i] = set{cap: assoc, lines: make(map[uint64]*node, assoc)}
+	c := &Cache{
+		cfg:     cfg,
+		numSets: numLines / assoc,
+		assoc:   assoc,
+		table:   flatmap.New(numLines),
+		nodes:   make([]node, numLines),
+		sets:    make([]lruSet, numLines/assoc),
 	}
+	c.Reset()
 	return c, nil
+}
+
+// Reset restores the empty post-New state — no resident lines, zero
+// statistics — without releasing any allocation. The simulator pool uses it
+// to reuse tag arrays across runs.
+func (c *Cache) Reset() {
+	c.stats = Stats{}
+	c.table.Clear()
+	for i := range c.sets {
+		c.sets[i] = lruSet{head: nilNode, tail: nilNode}
+	}
+	// Rebuild the freelist over all nodes.
+	for i := range c.nodes {
+		c.nodes[i].next = int32(i) + 1
+	}
+	c.nodes[len(c.nodes)-1].next = nilNode
+	c.free = 0
 }
 
 // LineAddr truncates addr to its line address.
@@ -93,9 +133,8 @@ func (c *Cache) LineAddr(addr uint64) uint64 {
 	return addr &^ uint64(c.cfg.LineBytes-1)
 }
 
-func (c *Cache) setOf(line uint64) *set {
-	idx := (line / uint64(c.cfg.LineBytes)) % uint64(c.numSets)
-	return &c.sets[idx]
+func (c *Cache) setOf(line uint64) int32 {
+	return int32((line / uint64(c.cfg.LineBytes)) % uint64(c.numSets))
 }
 
 // Load probes the cache for the line containing addr, updating LRU order
@@ -103,10 +142,9 @@ func (c *Cache) setOf(line uint64) *set {
 // caller is responsible for fetching and later calling Install.
 func (c *Cache) Load(addr uint64) bool {
 	line := c.LineAddr(addr)
-	s := c.setOf(line)
 	c.stats.LoadAccesses++
-	if n, ok := s.lines[line]; ok {
-		s.touch(n)
+	if ni, ok := c.table.Get(line); ok {
+		c.touch(int32(ni))
 		return true
 	}
 	c.stats.LoadMisses++
@@ -117,11 +155,10 @@ func (c *Cache) Load(addr uint64) bool {
 // not allocate. It reports whether the line was present.
 func (c *Cache) Store(addr uint64) bool {
 	line := c.LineAddr(addr)
-	s := c.setOf(line)
 	c.stats.StoreAccesses++
-	if n, ok := s.lines[line]; ok {
+	if ni, ok := c.table.Get(line); ok {
 		c.stats.StoreHits++
-		s.touch(n)
+		c.touch(int32(ni))
 		return true
 	}
 	return false
@@ -129,8 +166,7 @@ func (c *Cache) Store(addr uint64) bool {
 
 // Contains probes without perturbing LRU order or statistics.
 func (c *Cache) Contains(addr uint64) bool {
-	line := c.LineAddr(addr)
-	_, ok := c.setOf(line).lines[line]
+	_, ok := c.table.Get(c.LineAddr(addr))
 	return ok
 }
 
@@ -139,55 +175,69 @@ func (c *Cache) Contains(addr uint64) bool {
 // refreshes it.
 func (c *Cache) Install(addr uint64) {
 	line := c.LineAddr(addr)
-	s := c.setOf(line)
-	if n, ok := s.lines[line]; ok {
-		s.touch(n)
+	if ni, ok := c.table.Get(line); ok {
+		c.touch(int32(ni))
 		return
 	}
-	if len(s.lines) >= s.cap {
+	si := c.setOf(line)
+	s := &c.sets[si]
+	if int(s.count) >= c.assoc {
 		victim := s.tail
-		s.unlink(victim)
-		delete(s.lines, victim.line)
+		c.unlink(victim)
+		c.table.Delete(c.nodes[victim].line)
 		c.stats.Evictions++
+		// Recycle the victim node directly.
+		c.nodes[victim] = node{line: line, set: si}
+		c.pushFront(victim)
+		c.table.Set(line, uint64(victim))
+		return
 	}
-	n := &node{line: line}
-	s.lines[line] = n
-	s.pushFront(n)
+	ni := c.free
+	c.free = c.nodes[ni].next
+	c.nodes[ni] = node{line: line, set: si}
+	c.pushFront(ni)
+	c.table.Set(line, uint64(ni))
 }
 
 // Stats returns a copy of the counters.
 func (c *Cache) Stats() Stats { return c.stats }
 
-func (s *set) touch(n *node) {
-	if s.head == n {
+func (c *Cache) touch(ni int32) {
+	if c.sets[c.nodes[ni].set].head == ni {
 		return
 	}
-	s.unlink(n)
-	s.pushFront(n)
+	c.unlink(ni)
+	c.pushFront(ni)
 }
 
-func (s *set) pushFront(n *node) {
-	n.prev = nil
+func (c *Cache) pushFront(ni int32) {
+	n := &c.nodes[ni]
+	s := &c.sets[n.set]
+	n.prev = nilNode
 	n.next = s.head
-	if s.head != nil {
-		s.head.prev = n
+	if s.head != nilNode {
+		c.nodes[s.head].prev = ni
 	}
-	s.head = n
-	if s.tail == nil {
-		s.tail = n
+	s.head = ni
+	if s.tail == nilNode {
+		s.tail = ni
 	}
+	s.count++
 }
 
-func (s *set) unlink(n *node) {
-	if n.prev != nil {
-		n.prev.next = n.next
+func (c *Cache) unlink(ni int32) {
+	n := &c.nodes[ni]
+	s := &c.sets[n.set]
+	if n.prev != nilNode {
+		c.nodes[n.prev].next = n.next
 	} else {
 		s.head = n.next
 	}
-	if n.next != nil {
-		n.next.prev = n.prev
+	if n.next != nilNode {
+		c.nodes[n.next].prev = n.prev
 	} else {
 		s.tail = n.prev
 	}
-	n.prev, n.next = nil, nil
+	n.prev, n.next = nilNode, nilNode
+	s.count--
 }

@@ -165,8 +165,8 @@ func TestCapacityProperty(t *testing.T) {
 			}
 			resident = 0
 			for _, s := range c.sets {
-				resident += len(s.lines)
-				if len(s.lines) > s.cap {
+				resident += int(s.count)
+				if int(s.count) > c.assoc {
 					return false
 				}
 			}
@@ -200,17 +200,51 @@ func TestLRUInclusionProperty(t *testing.T) {
 				big.Install(addr)
 			}
 			// Inclusion check.
-			for _, s := range small.sets {
-				for line := range s.lines {
-					if !big.Contains(line) {
-						return false
-					}
-				}
+			included := true
+			small.table.Range(func(line, _ uint64) bool {
+				included = big.Contains(line)
+				return included
+			})
+			if !included {
+				return false
 			}
 		}
 		return true
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
 		t.Error(err)
+	}
+}
+
+// Reset must restore the exact post-New state: an access sequence replayed
+// after Reset produces identical stats and residency to a fresh cache.
+func TestResetRestoresFreshState(t *testing.T) {
+	cfg := Config{SizeBytes: 8 * 64, LineBytes: 64, Assoc: 2}
+	replay := func(c *Cache) Stats {
+		for i := 0; i < 200; i++ {
+			addr := uint64(i%23) * 64 * 3
+			if !c.Load(addr) {
+				c.Install(addr)
+			}
+			if i%7 == 0 {
+				c.Store(addr + 64)
+			}
+		}
+		return c.Stats()
+	}
+	fresh := mustNew(t, cfg)
+	want := replay(fresh)
+
+	c := mustNew(t, cfg)
+	replay(c)
+	c.Reset()
+	if c.Stats() != (Stats{}) {
+		t.Fatalf("stats after Reset = %+v", c.Stats())
+	}
+	if c.Contains(0) {
+		t.Fatal("line survived Reset")
+	}
+	if got := replay(c); got != want {
+		t.Errorf("replay after Reset = %+v, want %+v", got, want)
 	}
 }

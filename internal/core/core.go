@@ -661,7 +661,7 @@ func simulateGroup(wl *rt.Workload, cfg config.Config, pixels []int32,
 	start := time.Now()
 
 	if !regression {
-		rep, err := gpu.Run(gpu.Job{Cfg: cfg, Traces: groupTraces(wl, pixels, selected)})
+		rep, err := gpu.Run(gpu.Job{Cfg: cfg, Source: groupSource{wl: wl, pixels: pixels, selected: selected}})
 		if err != nil {
 			return run, nil, err
 		}
@@ -680,7 +680,7 @@ func simulateGroup(wl *rt.Workload, cfg config.Config, pixels []int32,
 	var sub map[int32]bool
 	for i, f := range fracs {
 		sub = subsetOf(pixels, selected, f)
-		rep, err := gpu.Run(gpu.Job{Cfg: cfg, Traces: groupTraces(wl, pixels, sub)})
+		rep, err := gpu.Run(gpu.Job{Cfg: cfg, Source: groupSource{wl: wl, pixels: pixels, selected: sub}})
 		if err != nil {
 			return run, nil, err
 		}
@@ -713,18 +713,27 @@ func simulateGroup(wl *rt.Workload, cfg config.Config, pixels []int32,
 	return run, vals, nil
 }
 
-// groupTraces assembles the thread list for a group: selected pixels run
-// their recorded traces, filtered pixels run the two-instruction prologue.
-func groupTraces(wl *rt.Workload, pixels []int32, selected map[int32]bool) []rt.ThreadTrace {
-	traces := make([]rt.ThreadTrace, len(pixels))
-	for i, p := range pixels {
-		if selected[p] {
-			traces[i] = wl.Traces[p]
-		} else {
-			traces[i] = filteredTrace
-		}
+// groupSource presents a group's thread list to the simulator without
+// materialising it: selected pixels read their traces straight out of the
+// workload, filtered pixels share the single two-instruction prologue
+// trace. Groups used to copy one []rt.ThreadTrace per simulator call —
+// for a full-resolution frame that was the largest per-prediction
+// allocation after the workload itself.
+type groupSource struct {
+	wl       *rt.Workload
+	pixels   []int32
+	selected map[int32]bool
+}
+
+// Len implements rt.TraceSource.
+func (g groupSource) Len() int { return len(g.pixels) }
+
+// At implements rt.TraceSource.
+func (g groupSource) At(i int) *rt.ThreadTrace {
+	if p := g.pixels[i]; g.selected[p] {
+		return &g.wl.Traces[p]
 	}
-	return traces
+	return &filteredTrace
 }
 
 // subsetOf trims a selection down to fraction f of the group, preferring

@@ -7,7 +7,6 @@
 package dram
 
 import (
-	"container/heap"
 	"fmt"
 )
 
@@ -72,12 +71,12 @@ func NewChannel(cfg Config) (*Channel, error) {
 // calls (the simulator issues requests in cycle order).
 func (ch *Channel) Read(addr uint64, bytes int, now uint64) uint64 {
 	// Retire completed requests from the occupancy window.
-	for ch.inflight.Len() > 0 && ch.inflight.min() <= now {
-		heap.Pop(&ch.inflight)
+	for ch.inflight.len() > 0 && ch.inflight.min() <= now {
+		ch.inflight.pop()
 	}
 
 	start := max(now, ch.lastFree)
-	if ch.inflight.Len() >= ch.cfg.QueueDepth {
+	if ch.inflight.len() >= ch.cfg.QueueDepth {
 		// Queue full: the request cannot even enter until one retires.
 		start = max(start, ch.inflight.min())
 	}
@@ -113,8 +112,20 @@ func (ch *Channel) Read(addr uint64, bytes int, now uint64) uint64 {
 		ch.coveredUntil = done
 	}
 
-	heap.Push(&ch.inflight, done)
+	ch.inflight.push(done)
 	return done
+}
+
+// Reset restores the channel to its idle post-NewChannel state, keeping the
+// in-flight heap's allocation. The simulator pool reuses channels across
+// runs.
+func (ch *Channel) Reset() {
+	ch.lastFree, ch.openRow, ch.coveredUntil = 0, 0, 0
+	ch.rowValid = false
+	ch.inflight = ch.inflight[:0]
+	ch.reads, ch.bytesRead = 0, 0
+	ch.busyCycles, ch.pendingCycles = 0, 0
+	ch.rowHits, ch.rowMisses = 0, 0
 }
 
 // Stats summarises channel activity over a run of totalCycles core cycles.
@@ -154,18 +165,52 @@ func (ch *Channel) Stats(totalCycles uint64) Stats {
 	return s
 }
 
-// doneHeap is a min-heap of completion cycles.
+// doneHeap is a hand-rolled min-heap of completion cycles. The previous
+// container/heap version boxed every uint64 through interface{} on both
+// push and pop — one allocation per DRAM read in the simulator's hottest
+// memory path. Only the multiset of values matters to the model, so the
+// heap layout is free to differ.
 type doneHeap []uint64
 
-func (h doneHeap) Len() int            { return len(h) }
-func (h doneHeap) Less(i, j int) bool  { return h[i] < h[j] }
-func (h doneHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *doneHeap) Push(x interface{}) { *h = append(*h, x.(uint64)) }
-func (h *doneHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	v := old[n-1]
-	*h = old[:n-1]
-	return v
-}
+func (h doneHeap) len() int    { return len(h) }
 func (h doneHeap) min() uint64 { return h[0] }
+
+func (h *doneHeap) push(c uint64) {
+	q := append(*h, c)
+	i := len(q) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if q[p] <= q[i] {
+			break
+		}
+		q[p], q[i] = q[i], q[p]
+		i = p
+	}
+	*h = q
+}
+
+func (h *doneHeap) pop() uint64 {
+	q := *h
+	top := q[0]
+	last := len(q) - 1
+	q[0] = q[last]
+	q = q[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		least := i
+		if l < last && q[l] < q[least] {
+			least = l
+		}
+		if r < last && q[r] < q[least] {
+			least = r
+		}
+		if least == i {
+			break
+		}
+		q[i], q[least] = q[least], q[i]
+		i = least
+	}
+	*h = q
+	return top
+}

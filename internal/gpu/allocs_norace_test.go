@@ -1,0 +1,15 @@
+//go:build !race
+
+package gpu
+
+// warmAllocsBudget bounds allocations per warm pooled Run in
+// TestWarmRunAllocs. The pre-pooling simulator allocated ~1.45M objects
+// per run on the same job; the warm pooled path measures ~3 (the
+// trace-source boxing and the report struct). The budget leaves three
+// orders of magnitude of slack so a GC evicting the pooled simulator
+// between iterations cannot flake the test, while still catching any
+// real pooling regression (which reappears at ~10^4 allocs or more).
+const (
+	warmAllocsBudget = 5000
+	checkWarmAllocs  = true
+)

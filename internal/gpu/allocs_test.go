@@ -1,0 +1,31 @@
+package gpu
+
+import (
+	"testing"
+
+	"zatel/internal/config"
+)
+
+// TestWarmRunAllocs pins the simulator-pooling contract: once a
+// configuration's pool is warm, Run reuses the simulator arena and its
+// steady-state allocation count stays bounded, instead of rebuilding
+// caches, heaps and warp arrays per call. The budget deliberately has
+// headroom: a GC between iterations may evict the pooled simulator and
+// force one cold rebuild, which the average absorbs.
+func TestWarmRunAllocs(t *testing.T) {
+	traces := loadWorkload(t, "PARK", 32, 32, 1)
+	cfg := config.MobileSoC()
+	runJob(t, cfg, traces) // warm the pool for this config
+
+	avg := testing.AllocsPerRun(5, func() {
+		if _, err := Run(Job{Cfg: cfg, Traces: traces}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Logf("warm gpu.Run: %.0f allocs/op (budget %d, enforced=%v)",
+		avg, warmAllocsBudget, checkWarmAllocs)
+	if checkWarmAllocs && avg > warmAllocsBudget {
+		t.Errorf("warm pooled Run allocates %.0f objects/op, budget %d — state pooling regressed",
+			avg, warmAllocsBudget)
+	}
+}

@@ -1,0 +1,53 @@
+package gpu
+
+import "testing"
+
+// dedupLines is a warp-sized address stream with the duplicate density the
+// coalescer sees in practice: 32 lanes touching ~16 distinct cache lines.
+func dedupLines() []uint64 {
+	lines := make([]uint64, 32)
+	for i := range lines {
+		lines[i] = uint64(i/2) * 128
+	}
+	return lines
+}
+
+// BenchmarkLineDedup compares the replaced per-lane coalescing dedup
+// strategies on one warp's worth of accesses: the old O(n) containsLine
+// scan over scratchLines against the generation-stamped lineSet now used
+// by issueWarp.
+func BenchmarkLineDedup(b *testing.B) {
+	lines := dedupLines()
+
+	b.Run("scan", func(b *testing.B) {
+		scratch := make([]uint64, 0, len(lines))
+		for i := 0; i < b.N; i++ {
+			scratch = scratch[:0]
+			for _, l := range lines {
+				if !containsLine(scratch, l) {
+					scratch = append(scratch, l)
+				}
+			}
+			if len(scratch) != 16 {
+				b.Fatalf("deduped to %d lines, want 16", len(scratch))
+			}
+		}
+	})
+
+	b.Run("lineSet", func(b *testing.B) {
+		var ls lineSet
+		ls.init(len(lines))
+		for i := 0; i < b.N; i++ {
+			ls.begin()
+			distinct := 0
+			for _, l := range lines {
+				if ls.add(l) {
+					distinct++
+				}
+			}
+			if distinct != 16 {
+				b.Fatalf("deduped to %d lines, want 16", distinct)
+			}
+		}
+	})
+}

@@ -47,6 +47,9 @@ func (q *doneQ) pop() uint64 {
 func (q *doneQ) len() int    { return len(q.items) }
 func (q *doneQ) min() uint64 { return q.items[0] }
 
+// reset empties the queue, keeping its backing array for a pooled rerun.
+func (q *doneQ) reset() { q.items = q.items[:0] }
+
 // drain pops all completions at or before cycle now and returns how many
 // were retired.
 func (q *doneQ) drain(now uint64) int {
@@ -56,4 +59,33 @@ func (q *doneQ) drain(now uint64) int {
 		n++
 	}
 	return n
+}
+
+// fifo is a first-in-first-out queue of int32 ids that fronts its backing
+// array with an index instead of re-slicing. Popping via items = items[1:]
+// permanently discards the popped element's capacity, so a queue cycling
+// millions of ids (the RT unit's ready list) re-grows its array for the
+// whole run; the index front lets the array be recycled once drained.
+type fifo struct {
+	items []int32
+	head  int
+}
+
+func (q *fifo) push(v int32) { q.items = append(q.items, v) }
+
+func (q *fifo) pop() int32 {
+	v := q.items[q.head]
+	q.head++
+	if q.head == len(q.items) {
+		q.items = q.items[:0]
+		q.head = 0
+	}
+	return v
+}
+
+func (q *fifo) len() int { return len(q.items) - q.head }
+
+func (q *fifo) reset() {
+	q.items = q.items[:0]
+	q.head = 0
 }

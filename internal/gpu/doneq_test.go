@@ -71,7 +71,7 @@ func TestDoneQHeapProperty(t *testing.T) {
 func TestEventHeapOrdering(t *testing.T) {
 	var h eventHeap
 	for _, c := range []uint64{50, 10, 90, 30, 70} {
-		h.push(event{cycle: c, id: int32(c)})
+		h.push(mkEvent(c, evRayWork, int(c%7), int32(c), int64(c)))
 	}
 	prev := uint64(0)
 	for h.len() > 0 {
@@ -82,10 +82,33 @@ func TestEventHeapOrdering(t *testing.T) {
 		if e.cycle < prev {
 			t.Fatalf("pop out of order: %d after %d", e.cycle, prev)
 		}
-		if int32(e.cycle) != e.id {
-			t.Fatalf("event payload corrupted: cycle %d id %d", e.cycle, e.id)
+		if e.kind() != evRayWork || e.sm() != int32(e.cycle%7) ||
+			e.id() != int32(e.cycle) || e.uid() != uint32(e.cycle) {
+			t.Fatalf("event payload corrupted: cycle %d kind %d sm %d id %d uid %d",
+				e.cycle, e.kind(), e.sm(), e.id(), e.uid())
 		}
 		prev = e.cycle
+	}
+}
+
+func TestEventPackingRoundtrip(t *testing.T) {
+	cases := []struct {
+		kind evKind
+		sm   int
+		id   int32
+		uid  int64
+	}{
+		{evWarpWake, 0, 0, 0},
+		{evRayWork, evSMLimit - 1, evIDLimit - 1, evUIDLimit - 1},
+		{evFetchDone, 17, 12345, 987654321},
+	}
+	for _, c := range cases {
+		e := mkEvent(42, c.kind, c.sm, c.id, c.uid)
+		if e.kind() != c.kind || e.sm() != int32(c.sm) || e.id() != c.id ||
+			e.uid() != uint32(c.uid) || e.cycle != 42 {
+			t.Errorf("roundtrip %+v -> kind %d sm %d id %d uid %d",
+				c, e.kind(), e.sm(), e.id(), e.uid())
+		}
 	}
 }
 

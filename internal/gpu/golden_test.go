@@ -1,0 +1,118 @@
+package gpu
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"zatel/internal/config"
+	"zatel/internal/metrics"
+)
+
+// goldenPath holds the frozen reference reports captured from the naive
+// (pre-optimization) simulator. The cycle-exactness contract of the hot-path
+// overhaul is that every scheduling, pooling and storage optimization keeps
+// the metrics.Report byte-identical to these values; regenerate only when
+// the timing MODEL intentionally changes, via
+//
+//	ZATEL_UPDATE_GOLDEN=1 go test ./internal/gpu -run TestCycleExactGolden
+const goldenPath = "testdata/golden_reports.json"
+
+// goldenCase is one (scene, config) cell of the exactness matrix.
+type goldenCase struct {
+	scene string
+	cfg   config.Config
+}
+
+// goldenMatrix spans ≥3 scenes × ≥2 configs including full-size and
+// downscaled GPUs, so active-set scheduling is exercised both when every SM
+// has work (downscaled) and when most sit idle (full GPU, small frame).
+func goldenMatrix(t testing.TB) []goldenCase {
+	soc := config.MobileSoC()
+	socDown, err := soc.Downscale(config.DownscaleFactor(soc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rtx := config.RTX2060()
+	rtxDown, err := rtx.Downscale(config.DownscaleFactor(rtx))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cases []goldenCase
+	for _, scene := range []string{"PARK", "BUNNY", "SPNZA"} {
+		for _, cfg := range []config.Config{soc, socDown, rtx, rtxDown} {
+			cases = append(cases, goldenCase{scene: scene, cfg: cfg})
+		}
+	}
+	return cases
+}
+
+func goldenKey(c goldenCase) string { return c.scene + "/" + c.cfg.Name }
+
+// TestCycleExactGolden runs the full golden matrix and asserts every report
+// matches the frozen pre-optimization reference field for field. Each cell
+// runs twice so the second run exercises the warm (pooled) simulator state —
+// a reset that leaks any cache line, MSHR slot or counter fails here.
+func TestCycleExactGolden(t *testing.T) {
+	cases := goldenMatrix(t)
+
+	got := make(map[string]metrics.Report, len(cases))
+	for _, c := range cases {
+		traces := loadWorkload(t, c.scene, 32, 32, 1)
+		cold := runJob(t, c.cfg, traces)
+		warm := runJob(t, c.cfg, traces)
+		cold.WallTime, warm.WallTime = 0, 0
+		if cold != warm {
+			t.Errorf("%s: warm (pooled) run diverged from cold run:\ncold %+v\nwarm %+v",
+				goldenKey(c), cold, warm)
+		}
+		got[goldenKey(c)] = cold
+	}
+
+	if os.Getenv("ZATEL_UPDATE_GOLDEN") != "" {
+		writeGolden(t, got)
+		t.Logf("regenerated %s with %d reports", goldenPath, len(got))
+		return
+	}
+
+	want := readGolden(t)
+	for _, c := range cases {
+		key := goldenKey(c)
+		w, ok := want[key]
+		if !ok {
+			t.Errorf("%s: missing from %s (regenerate with ZATEL_UPDATE_GOLDEN=1)", key, goldenPath)
+			continue
+		}
+		if g := got[key]; g != w {
+			t.Errorf("%s: report diverged from frozen reference:\ngot  %+v\nwant %+v", key, g, w)
+		}
+	}
+}
+
+func writeGolden(t testing.TB, reports map[string]metrics.Report) {
+	t.Helper()
+	if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.MarshalIndent(reports, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(goldenPath, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func readGolden(t testing.TB) map[string]metrics.Report {
+	t.Helper()
+	data, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("%v (generate with ZATEL_UPDATE_GOLDEN=1 go test ./internal/gpu -run TestCycleExactGolden)", err)
+	}
+	var want map[string]metrics.Report
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatalf("parse %s: %v", goldenPath, err)
+	}
+	return want
+}

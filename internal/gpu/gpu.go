@@ -10,15 +10,26 @@
 // ticking, which keeps full-frame simulations fast while preserving the
 // contention behaviour Zatel's accuracy depends on (cache capacity, DRAM
 // saturation, RT-unit occupancy).
+//
+// Simulator state is pooled per configuration: Zatel sweeps run thousands
+// of group simulations against a handful of configs, and rebuilding the
+// caches, heaps and warp arrays for each one dominated the allocation
+// profile. Run draws a simulator from the pool, replays the job, and
+// returns it scrubbed of trace pointers; a warm Run allocates almost
+// nothing. Pooling is invisible to simulated timing — reset restores
+// exactly the state newSim constructs, and the cycle-exactness golden test
+// pins cold and warm runs to identical reports.
 package gpu
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"zatel/internal/cache"
 	"zatel/internal/config"
 	"zatel/internal/dram"
+	"zatel/internal/flatmap"
 	"zatel/internal/metrics"
 	"zatel/internal/noc"
 	"zatel/internal/rt"
@@ -28,9 +39,15 @@ import (
 // traces to execute, in warp order (consecutive groups of WarpSize threads
 // form warps). Pixels excluded by Zatel's filter mask must already be
 // replaced with rt.FilteredTrace() by the caller.
+//
+// Traces may be supplied either as a slice or, to avoid materialising a
+// per-run copy, through Source. When Source is non-nil it wins.
 type Job struct {
 	Cfg    config.Config
 	Traces []rt.ThreadTrace
+	// Source supplies the threads without requiring a contiguous slice;
+	// see rt.TraceSource. The simulator only reads through it.
+	Source rt.TraceSource
 }
 
 // Sim is the run state. Construct with newSim; drive with run.
@@ -40,8 +57,14 @@ type Sim struct {
 	sms    []*sm
 	mem    *memSystem
 
-	pending     []rt.ThreadTrace // not-yet-launched threads
-	pendingAt   int
+	// activeSMs lists, in ascending id order, the SMs with issuable warps
+	// or ready RT-unit rays. The issue phase walks only this list; the
+	// ascending order matters because same-cycle accesses to the shared
+	// memory system are served in SM iteration order.
+	activeSMs []int32
+
+	src         rt.TraceSource // not-yet-launched threads
+	srcAt       int
 	totalWarps  int
 	retired     int
 	nextWarpUID int64
@@ -59,32 +82,97 @@ type Sim struct {
 	l1Latency uint64
 }
 
+// simPools holds one free-list of idle simulators per configuration.
+// config.Config is comparable (scalars and strings only), so it keys the
+// map directly; two jobs share a pool exactly when their simulators are
+// structurally interchangeable.
+var simPools sync.Map // config.Config -> *sync.Pool
+
+// DrainPools discards all pooled simulator state. It exists for benchmarks
+// and tests that need to measure or exercise cold-start behaviour;
+// production callers never need it.
+func DrainPools() {
+	simPools.Range(func(k, _ any) bool {
+		simPools.Delete(k)
+		return true
+	})
+}
+
+func getSim(cfg config.Config, src rt.TraceSource) (*Sim, error) {
+	if pv, ok := simPools.Load(cfg); ok {
+		if v := pv.(*sync.Pool).Get(); v != nil {
+			sim := v.(*Sim)
+			sim.reset()
+			sim.start(src)
+			return sim, nil
+		}
+	}
+	return newSim(cfg, src)
+}
+
+// putSim returns a finished simulator to its configuration's pool. The
+// caller must not touch sim afterwards.
+func putSim(sim *Sim) {
+	sim.scrub()
+	pv, _ := simPools.LoadOrStore(sim.cfg, &sync.Pool{})
+	pv.(*sync.Pool).Put(sim)
+}
+
 // Run simulates the job to completion and returns the metric report.
 func Run(job Job) (metrics.Report, error) {
 	if err := job.Cfg.Validate(); err != nil {
 		return metrics.Report{}, err
 	}
-	if len(job.Traces) == 0 {
+	src := job.Source
+	if src == nil {
+		src = rt.TraceSlice(job.Traces)
+	}
+	if src.Len() == 0 {
 		return metrics.Report{}, fmt.Errorf("gpu: no threads to run")
 	}
+	if err := checkEventLimits(job.Cfg, src.Len()); err != nil {
+		return metrics.Report{}, err
+	}
 	start := time.Now()
-	sim, err := newSim(job)
+	sim, err := getSim(job.Cfg, src)
 	if err != nil {
 		return metrics.Report{}, err
 	}
 	if err := sim.run(); err != nil {
+		// A failed run leaves partially-consumed state; drop the simulator
+		// rather than pooling it.
 		return metrics.Report{}, err
 	}
 	rep := sim.report()
+	putSim(sim)
 	rep.WallTime = time.Since(start)
 	return rep, nil
 }
 
-func newSim(job Job) (*Sim, error) {
-	cfg := job.Cfg
+// checkEventLimits rejects jobs whose identifiers would not fit the packed
+// event word (see events.go). Real configurations sit orders of magnitude
+// below every limit.
+func checkEventLimits(cfg config.Config, threads int) error {
+	if cfg.NumSMs > evSMLimit {
+		return fmt.Errorf("gpu: NumSMs %d exceeds event limit %d", cfg.NumSMs, evSMLimit)
+	}
+	if cfg.MaxWarpsPerSM > evIDLimit {
+		return fmt.Errorf("gpu: MaxWarpsPerSM %d exceeds event limit %d", cfg.MaxWarpsPerSM, evIDLimit)
+	}
+	if cfg.RTMaxWarps*cfg.WarpSize > evIDLimit {
+		return fmt.Errorf("gpu: RT ray pool %d exceeds event limit %d",
+			cfg.RTMaxWarps*cfg.WarpSize, evIDLimit)
+	}
+	warps := (threads + cfg.WarpSize - 1) / cfg.WarpSize
+	if uint64(warps) >= evUIDLimit {
+		return fmt.Errorf("gpu: %d warps exceeds event uid limit %d", warps, uint64(evUIDLimit))
+	}
+	return nil
+}
+
+func newSim(cfg config.Config, src rt.TraceSource) (*Sim, error) {
 	sim := &Sim{
 		cfg:       cfg,
-		pending:   job.Traces,
 		l1Latency: uint64(cfg.L1DLatency),
 	}
 
@@ -120,11 +208,12 @@ func newSim(job Job) (*Sim, error) {
 		}
 		sim.mem.partitions = append(sim.mem.partitions, &partition{
 			l2:       l2,
-			l2Flight: make(map[uint64]uint64),
+			l2Flight: flatmap.New(8 * cfg.L2MSHRs),
 			channel:  ch,
 		})
 	}
 
+	sim.activeSMs = make([]int32, 0, cfg.NumSMs)
 	for i := 0; i < cfg.NumSMs; i++ {
 		l1, err := cache.New(cache.Config{
 			SizeBytes: cfg.L1DBytes,
@@ -138,7 +227,7 @@ func newSim(job Job) (*Sim, error) {
 			id:         i,
 			warps:      make([]warp, cfg.MaxWarpsPerSM),
 			l1:         l1,
-			l1Flight:   make(map[uint64]uint64),
+			l1Flight:   flatmap.New(8 * cfg.L1DMSHRs),
 			l1MSHRs:    cfg.L1DMSHRs,
 			lastIssued: -1,
 			rt: rtUnit{
@@ -154,44 +243,127 @@ func newSim(job Job) (*Sim, error) {
 		for slot := range core.warps {
 			core.warps[slot].phase = wEmpty
 		}
-		core.ready = &ageHeap{age: func(slot int32) int64 { return core.warps[slot].age }}
+		core.dedup.init(cfg.WarpSize)
 		sim.sms = append(sim.sms, core)
 	}
 
-	sim.totalWarps = (len(job.Traces) + cfg.WarpSize - 1) / cfg.WarpSize
+	sim.start(src)
+	return sim, nil
+}
 
-	// Initial launch: fill warp slots breadth-first across SMs so work
-	// spreads evenly, as a GPU's thread-block scheduler does.
-	for slot := 0; slot < cfg.MaxWarpsPerSM && sim.pendingAt < len(sim.pending); slot++ {
+// reset restores a pooled simulator to the state newSim leaves it in before
+// start, reusing every allocation.
+func (sim *Sim) reset() {
+	sim.events.items = sim.events.items[:0]
+	for _, s := range sim.sms {
+		s.reset()
+	}
+	sim.mem.reset()
+	sim.activeSMs = sim.activeSMs[:0]
+	sim.src = nil
+	sim.srcAt = 0
+	sim.totalWarps = 0
+	sim.retired = 0
+	sim.nextWarpUID = 0
+	sim.nextWarpAge = 0
+	sim.now = 0
+	sim.endCycle = 0
+	sim.activeRaysTotal = 0
+	sim.residentWarpsTotal = 0
+	sim.rtActiveRayCycles = 0
+	sim.rtWarpSlotCycles = 0
+}
+
+// start binds the trace source and performs the initial breadth-first
+// launch: warp slots fill across SMs so work spreads evenly, as a GPU's
+// thread-block scheduler does.
+func (sim *Sim) start(src rt.TraceSource) {
+	sim.src = src
+	sim.totalWarps = (src.Len() + sim.cfg.WarpSize - 1) / sim.cfg.WarpSize
+	for slot := 0; slot < sim.cfg.MaxWarpsPerSM && sim.srcAt < src.Len(); slot++ {
 		for _, core := range sim.sms {
-			if sim.pendingAt >= len(sim.pending) {
+			if sim.srcAt >= src.Len() {
 				break
 			}
 			sim.launchWarp(core, int32(slot))
 		}
 	}
-	return sim, nil
 }
 
-// launchWarp builds the next pending warp into the given slot.
+// scrub drops every reference into the job's traces so a pooled simulator
+// does not pin a retired workload in memory. Capacity is kept everywhere.
+func (sim *Sim) scrub() {
+	sim.src = nil
+	for _, s := range sim.sms {
+		for i := range s.warps {
+			w := &s.warps[i]
+			threads := w.threads[:cap(w.threads)]
+			for j := range threads {
+				threads[j].tr = nil
+			}
+			refs := w.rayRefs[:cap(w.rayRefs)]
+			for j := range refs {
+				refs[j] = nil
+			}
+		}
+		rays := s.rt.rays[:cap(s.rt.rays)]
+		for j := range rays {
+			rays[j].steps = nil
+		}
+	}
+}
+
+// activate inserts the SM into the active list, keeping ascending id
+// order. Idempotent; called whenever an SM gains issue-phase work outside
+// the issue loop (event delivery and RT-slot handoff).
+func (sim *Sim) activate(s *sm) {
+	if s.active {
+		return
+	}
+	s.active = true
+	sim.activeSMs = append(sim.activeSMs, 0)
+	i := len(sim.activeSMs) - 1
+	for i > 0 && sim.activeSMs[i-1] > int32(s.id) {
+		sim.activeSMs[i] = sim.activeSMs[i-1]
+		i--
+	}
+	sim.activeSMs[i] = int32(s.id)
+}
+
+// launchWarp builds the next pending warp into the given slot, reusing the
+// slot's thread array from any previous occupant.
 func (sim *Sim) launchWarp(s *sm, slot int32) {
 	n := sim.cfg.WarpSize
-	if remain := len(sim.pending) - sim.pendingAt; remain < n {
+	if remain := sim.src.Len() - sim.srcAt; remain < n {
 		n = remain
 	}
 	w := &s.warps[slot]
+	threads := w.threads
+	if cap(threads) < n {
+		threads = make([]thread, n, sim.cfg.WarpSize)
+	} else {
+		threads = threads[:n]
+	}
 	*w = warp{
 		uid:     sim.nextWarpUID,
 		age:     sim.nextWarpAge,
-		threads: make([]thread, n),
+		threads: threads,
+		rayRefs: w.rayRefs[:0],
 	}
 	sim.nextWarpUID++
 	sim.nextWarpAge++
+	live := int32(0)
 	for i := 0; i < n; i++ {
-		w.threads[i] = thread{tr: &sim.pending[sim.pendingAt+i]}
+		tr := sim.src.At(sim.srcAt + i)
+		threads[i] = thread{tr: tr}
+		if len(tr.Ops) > 0 {
+			live++
+		}
 	}
-	sim.pendingAt += n
+	w.live = live
+	sim.srcAt += n
 	s.markReady(slot)
+	sim.activate(s)
 }
 
 // retireWarp finishes a warp, reuses its slot for pending work and records
@@ -200,18 +372,9 @@ func (sim *Sim) retireWarp(s *sm, slot int32, now uint64) {
 	s.warps[slot].phase = wEmpty
 	sim.retired++
 	sim.endCycle = now
-	if sim.pendingAt < len(sim.pending) {
+	if sim.srcAt < sim.src.Len() {
 		sim.launchWarp(s, slot)
 	}
-}
-
-func warpFinished(w *warp) bool {
-	for i := range w.threads {
-		if !w.threads[i].finished() {
-			return false
-		}
-	}
-	return true
 }
 
 // run executes the main loop until every warp retires.
@@ -222,27 +385,33 @@ func (sim *Sim) run() error {
 		// Deliver due events.
 		for sim.events.len() > 0 && sim.events.minCycle() <= now {
 			e := sim.events.pop()
-			s := sim.sms[e.sm]
-			switch e.kind {
+			s := sim.sms[e.sm()]
+			switch e.kind() {
 			case evWarpWake:
-				w := &s.warps[e.id]
-				if w.uid != e.uid || w.phase != wBlocked {
+				slot := e.id()
+				w := &s.warps[slot]
+				if uint32(w.uid) != e.uid() || w.phase != wBlocked {
 					break // stale wake for a reused slot
 				}
-				if warpFinished(w) && w.pendingRays == 0 {
-					sim.retireWarp(s, e.id, now)
+				if w.live == 0 && w.pendingRays == 0 {
+					sim.retireWarp(s, slot, now)
 				} else {
-					s.markReady(e.id)
+					s.markReady(slot)
+					sim.activate(s)
 				}
 			case evRayWork:
-				sim.rayWork(s, e.id, now)
+				sim.rayWork(s, e.id(), now)
 			case evFetchDone:
 				sim.fetchDone(s)
 			}
 		}
 
-		// Issue and tick RT units.
-		for _, s := range sim.sms {
+		// Issue and tick RT units on the active SMs only. During this phase
+		// an SM can only add work to itself (retire→relaunch, RT admit), so
+		// the active list cannot gain members mid-walk and the ascending
+		// walk order matches the full scan it replaces.
+		for _, si := range sim.activeSMs {
+			s := sim.sms[si]
 			for k := 0; k < sim.cfg.IssuePerCycle; k++ {
 				slot := s.pickWarp(sim.cfg.Scheduler)
 				if slot < 0 {
@@ -254,9 +423,22 @@ func (sim *Sim) run() error {
 			sim.rtTick(s, now)
 		}
 
+		// Deactivate the SMs the issue phase drained (in place, preserving
+		// order).
+		live := sim.activeSMs[:0]
+		for _, si := range sim.activeSMs {
+			s := sim.sms[si]
+			if s.ready.len() > 0 || s.rt.ready.len() > 0 {
+				live = append(live, si)
+			} else {
+				s.active = false
+			}
+		}
+		sim.activeSMs = live
+
 		// Advance time, skipping dead cycles when nothing is issuable.
 		next := now + 1
-		if !sim.hasImmediateWork() {
+		if len(sim.activeSMs) == 0 {
 			if sim.events.len() == 0 {
 				if sim.retired < sim.totalWarps {
 					return fmt.Errorf("gpu: deadlock at cycle %d: %d/%d warps retired",
@@ -276,20 +458,16 @@ func (sim *Sim) run() error {
 	return nil
 }
 
-func (sim *Sim) hasImmediateWork() bool {
-	for _, s := range sim.sms {
-		if s.ready.len() > 0 || len(s.rt.ready) > 0 {
-			return true
-		}
-	}
-	return false
-}
-
 // issueWarp replays one SIMT instruction for the warp in the given slot.
 // Threads whose current op kind matches the leader's execute together;
 // divergent threads wait for a later issue (kind-grouped serialization).
 func (sim *Sim) issueWarp(s *sm, slot int32, now uint64) {
 	w := &s.warps[slot]
+	if w.live == 0 {
+		// All threads finished; the warp retires immediately.
+		sim.retireWarp(s, slot, now)
+		return
+	}
 	lanes := s.scratchLanes[:0]
 	var kind rt.OpKind
 	for i := range w.threads {
@@ -305,11 +483,6 @@ func (sim *Sim) issueWarp(s *sm, slot int32, now uint64) {
 			lanes = append(lanes, int32(i))
 		}
 	}
-	if len(lanes) == 0 {
-		// All threads finished; the warp retires immediately.
-		sim.retireWarp(s, slot, now)
-		return
-	}
 
 	switch kind {
 	case rt.OpCompute:
@@ -322,6 +495,9 @@ func (sim *Sim) issueWarp(s *sm, slot int32, now uint64) {
 			}
 			sumArg += arg
 			t.op++
+			if t.finished() {
+				w.live--
+			}
 		}
 		if maxArg == 0 {
 			maxArg = 1
@@ -331,11 +507,15 @@ func (sim *Sim) issueWarp(s *sm, slot int32, now uint64) {
 
 	case rt.OpLoad:
 		lines := s.scratchLines[:0]
+		s.dedup.begin()
 		for _, li := range lanes {
 			t := &w.threads[li]
 			line := s.l1.LineAddr(uint64(t.tr.Ops[t.op].Arg))
 			t.op++
-			if !containsLine(lines, line) {
+			if t.finished() {
+				w.live--
+			}
+			if s.dedup.add(line) {
 				lines = append(lines, line)
 			}
 		}
@@ -350,11 +530,15 @@ func (sim *Sim) issueWarp(s *sm, slot int32, now uint64) {
 
 	case rt.OpStore:
 		lines := s.scratchLines[:0]
+		s.dedup.begin()
 		for _, li := range lanes {
 			t := &w.threads[li]
 			line := s.l1.LineAddr(uint64(t.tr.Ops[t.op].Arg))
 			t.op++
-			if !containsLine(lines, line) {
+			if t.finished() {
+				w.live--
+			}
+			if s.dedup.add(line) {
 				lines = append(lines, line)
 			}
 		}
@@ -370,6 +554,9 @@ func (sim *Sim) issueWarp(s *sm, slot int32, now uint64) {
 			t := &w.threads[li]
 			w.rayRefs = append(w.rayRefs, &t.tr.Rays[t.tr.Ops[t.op].Arg])
 			t.op++
+			if t.finished() {
+				w.live--
+			}
 		}
 		s.instructions += uint64(len(lanes))
 		sim.tryAdmit(s, slot, now)
@@ -380,16 +567,7 @@ func (sim *Sim) issueWarp(s *sm, slot int32, now uint64) {
 func (sim *Sim) block(s *sm, slot int32, until uint64) {
 	w := &s.warps[slot]
 	w.phase = wBlocked
-	sim.events.push(event{cycle: until, kind: evWarpWake, sm: int32(s.id), id: slot, uid: w.uid})
-}
-
-func containsLine(lines []uint64, line uint64) bool {
-	for _, l := range lines {
-		if l == line {
-			return true
-		}
-	}
-	return false
+	sim.events.push(mkEvent(until, evWarpWake, s.id, slot, w.uid))
 }
 
 // loadLine issues a load of one cache line from SM s at cycle now and
@@ -401,13 +579,16 @@ func (sim *Sim) loadLine(s *sm, addr uint64, now uint64) uint64 {
 	at := max(now, s.lsuNextFree)
 	s.lsuNextFree = at + 1
 
-	if done, ok := s.l1Flight[line]; ok && done <= at {
-		delete(s.l1Flight, line)
+	// Single flight-map probe; see l2Load for why this is exact.
+	fd, inFlight := s.l1Flight.Get(line)
+	if inFlight && fd <= at {
+		s.l1Flight.Delete(line)
+		inFlight = false
 	}
 	hit := s.l1.Load(line)
-	if done, ok := s.l1Flight[line]; ok {
+	if inFlight {
 		// Merged into an outstanding fill.
-		return max(done, at+sim.l1Latency)
+		return max(fd, at+sim.l1Latency)
 	}
 	if hit {
 		return at + sim.l1Latency
@@ -425,11 +606,11 @@ func (sim *Sim) loadLine(s *sm, addr uint64, now uint64) uint64 {
 	}
 	done := sim.mem.l2Load(s.id, line, start)
 	s.l1.Install(line)
-	s.l1Flight[line] = done
+	s.l1Flight.Set(line, done)
 	s.l1Done.push(done)
 	s.l1Out++
-	if len(s.l1Flight) > 8*s.l1MSHRs {
-		sweep(s.l1Flight, at)
+	if s.l1Flight.Len() > 8*s.l1MSHRs {
+		s.l1Flight.DeleteIf(func(_, v uint64) bool { return v <= at })
 	}
 	return done
 }

@@ -202,9 +202,9 @@ func TestSmallerL1RaisesMissRate(t *testing.T) {
 
 func TestAgeHeapOrdering(t *testing.T) {
 	ages := map[int32]int64{0: 5, 1: 3, 2: 8, 3: 1, 4: 9}
-	h := &ageHeap{age: func(s int32) int64 { return ages[s] }}
-	for s := range ages {
-		h.push(s)
+	var h ageHeap
+	for s, a := range ages {
+		h.push(s, a)
 	}
 	want := []int32{3, 1, 0, 2, 4}
 	for i, w := range want {
@@ -215,11 +215,10 @@ func TestAgeHeapOrdering(t *testing.T) {
 }
 
 func TestAgeHeapRemove(t *testing.T) {
-	ages := map[int32]int64{0: 5, 1: 3, 2: 8}
-	h := &ageHeap{age: func(s int32) int64 { return ages[s] }}
-	h.push(0)
-	h.push(1)
-	h.push(2)
+	var h ageHeap
+	h.push(0, 5)
+	h.push(1, 3)
+	h.push(2, 8)
 	if !h.remove(1) {
 		t.Fatal("remove failed")
 	}
@@ -228,5 +227,9 @@ func TestAgeHeapRemove(t *testing.T) {
 	}
 	if got := h.pop(); got != 0 {
 		t.Errorf("pop after remove = %d, want 0", got)
+	}
+	h.clear()
+	if h.len() != 0 {
+		t.Errorf("len after clear = %d", h.len())
 	}
 }

@@ -3,6 +3,7 @@ package gpu
 import (
 	"zatel/internal/cache"
 	"zatel/internal/dram"
+	"zatel/internal/flatmap"
 	"zatel/internal/noc"
 )
 
@@ -16,7 +17,7 @@ import (
 // backed by one DRAM channel.
 type partition struct {
 	l2       *cache.Cache
-	l2Flight map[uint64]uint64 // line -> completion cycle
+	l2Flight *flatmap.Map // line -> completion cycle
 	// l2Done/l2Out track the slice's MSHR occupancy.
 	l2Done doneQ
 	l2Out  int
@@ -33,6 +34,21 @@ type memSystem struct {
 	l2Latency  uint64
 	l2MSHRs    int
 	l2TagLat   uint64
+}
+
+// reset restores the memory system to its post-construction state for a
+// pooled rerun, keeping the caches' node arenas and the flight maps'
+// tables.
+func (ms *memSystem) reset() {
+	ms.xbar.Reset()
+	for _, p := range ms.partitions {
+		p.l2.Reset()
+		p.l2Flight.Clear()
+		p.l2Done.reset()
+		p.l2Out = 0
+		p.nextFree = 0
+		p.channel.Reset()
+	}
 }
 
 // route hashes a line address to its home partition. Bits above the line
@@ -54,14 +70,19 @@ func (ms *memSystem) l2Load(sm int, line uint64, now uint64) uint64 {
 	svc := max(arrive, p.nextFree)
 	p.nextFree = svc + 1
 
-	// Lazy completion of an earlier fetch of the same line.
-	if done, ok := p.l2Flight[line]; ok && done <= svc {
-		delete(p.l2Flight, line)
+	// One flight-map probe answers both questions the walk asks: "did an
+	// earlier fetch of this line already complete" (lazy cleanup) and "is
+	// one still outstanding" (secondary-miss merge). Load never touches the
+	// flight map, so remembering the probed value is exact.
+	fd, inFlight := p.l2Flight.Get(line)
+	if inFlight && fd <= svc {
+		p.l2Flight.Delete(line)
+		inFlight = false
 	}
 	hit := p.l2.Load(line)
-	if done, ok := p.l2Flight[line]; ok {
+	if inFlight {
 		// Merged into an in-flight fetch (secondary miss).
-		return ms.xbar.ToSM(sm, max(done, svc))
+		return ms.xbar.ToSM(sm, max(fd, svc))
 	}
 	if hit {
 		return ms.xbar.ToSM(sm, svc+ms.l2Latency)
@@ -78,11 +99,13 @@ func (ms *memSystem) l2Load(sm int, line uint64, now uint64) uint64 {
 	}
 	done := p.channel.Read(line, int(ms.lineBytes), start)
 	p.l2.Install(line)
-	p.l2Flight[line] = done
+	p.l2Flight.Set(line, done)
 	p.l2Done.push(done)
 	p.l2Out++
-	if len(p.l2Flight) > 8*ms.l2MSHRs {
-		sweep(p.l2Flight, svc)
+	if p.l2Flight.Len() > 8*ms.l2MSHRs {
+		// Expired entries read as absent on access, so the sweep is purely
+		// about memory; timing is unaffected by when (or whether) it runs.
+		p.l2Flight.DeleteIf(func(_, v uint64) bool { return v <= svc })
 	}
 	return ms.xbar.ToSM(sm, done)
 }
@@ -96,15 +119,4 @@ func (ms *memSystem) l2Store(line uint64, now uint64) {
 	svc := max(arrive, p.nextFree)
 	p.nextFree = svc + 1
 	p.l2.Store(line)
-}
-
-// sweep drops completed entries from an in-flight map. The maps are
-// otherwise cleaned lazily on re-access, so lines fetched exactly once
-// would accumulate forever without this.
-func sweep(m map[uint64]uint64, now uint64) {
-	for line, done := range m {
-		if done <= now {
-			delete(m, line)
-		}
-	}
 }

@@ -31,11 +31,25 @@ type rtUnit struct {
 
 	rays     []rayState
 	freeRays []int32
-	ready    []int32 // rays ready to issue their next step
-	stalled  []int32 // rays blocked on a full MSHR file
-	queue    []int32 // warp slots awaiting a resident-warp slot
+	ready    fifo // rays ready to issue their next step
+	stalled  fifo // rays blocked on a full MSHR file
+	queue    fifo // warp slots awaiting a resident-warp slot
 
 	raysTraced uint64
+}
+
+// reset empties the unit for a pooled rerun, keeping slice capacity. The
+// step slices still referenced by the rays array are cleared by Sim.scrub.
+func (u *rtUnit) reset() {
+	u.residentWarps = 0
+	u.activeRays = 0
+	u.outstanding = 0
+	u.rays = u.rays[:0]
+	u.freeRays = u.freeRays[:0]
+	u.ready.reset()
+	u.stalled.reset()
+	u.queue.reset()
+	u.raysTraced = 0
 }
 
 // allocRay takes a ray from the pool.
@@ -59,7 +73,7 @@ func (sim *Sim) tryAdmit(s *sm, slot int32, now uint64) bool {
 	w := &s.warps[slot]
 	if u.residentWarps >= u.maxWarps {
 		w.phase = wRTQueued
-		u.queue = append(u.queue, slot)
+		u.queue.push(slot)
 		return false
 	}
 	u.residentWarps++
@@ -72,7 +86,7 @@ func (sim *Sim) tryAdmit(s *sm, slot int32, now uint64) bool {
 			continue
 		}
 		rid := u.allocRay(slot, ray.Steps)
-		u.ready = append(u.ready, rid)
+		u.ready.push(rid)
 		created++
 	}
 	w.rayRefs = w.rayRefs[:0]
@@ -84,8 +98,10 @@ func (sim *Sim) tryAdmit(s *sm, slot int32, now uint64) bool {
 		// box-test latency and the RT slot frees right away.
 		sim.releaseRTSlot(s, now)
 		w.phase = wBlocked
-		sim.events.push(event{cycle: now + u.boxCycles, kind: evWarpWake, sm: int32(s.id), id: slot, uid: w.uid})
+		sim.events.push(mkEvent(now+u.boxCycles, evWarpWake, s.id, slot, w.uid))
+		return true
 	}
+	sim.activate(s)
 	return true
 }
 
@@ -95,10 +111,8 @@ func (sim *Sim) releaseRTSlot(s *sm, now uint64) {
 	u := &s.rt
 	u.residentWarps--
 	sim.residentWarpsTotal--
-	if len(u.queue) > 0 {
-		next := u.queue[0]
-		u.queue = u.queue[1:]
-		sim.tryAdmit(s, next, now)
+	if u.queue.len() > 0 {
+		sim.tryAdmit(s, u.queue.pop(), now)
 	}
 }
 
@@ -106,9 +120,8 @@ func (sim *Sim) releaseRTSlot(s *sm, now uint64) {
 func (sim *Sim) rtTick(s *sm, now uint64) {
 	u := &s.rt
 	budget := u.raysPerCycle
-	for budget > 0 && len(u.ready) > 0 {
-		rid := u.ready[0]
-		u.ready = u.ready[1:]
+	for budget > 0 && u.ready.len() > 0 {
+		rid := u.ready.pop()
 		r := &u.rays[rid]
 
 		node, triTests := rt.UnpackStep(r.steps[r.idx])
@@ -117,7 +130,7 @@ func (sim *Sim) rtTick(s *sm, now uint64) {
 			fetches = 2
 		}
 		if u.outstanding+fetches > u.mshrSize {
-			u.stalled = append(u.stalled, rid)
+			u.stalled.push(rid)
 			continue
 		}
 
@@ -129,7 +142,7 @@ func (sim *Sim) rtTick(s *sm, now uint64) {
 		}
 		u.outstanding += fetches
 		for f := 0; f < fetches; f++ {
-			sim.events.push(event{cycle: done, kind: evFetchDone, sm: int32(s.id)})
+			sim.events.push(mkEvent(done, evFetchDone, s.id, 0, 0))
 		}
 
 		testLat := u.boxCycles
@@ -137,7 +150,7 @@ func (sim *Sim) rtTick(s *sm, now uint64) {
 			testLat = u.triCycles * uint64(triTests)
 		}
 		r.idx++
-		sim.events.push(event{cycle: done + testLat, kind: evRayWork, sm: int32(s.id), id: rid})
+		sim.events.push(mkEvent(done+testLat, evRayWork, s.id, rid, 0))
 		budget--
 	}
 }
@@ -148,7 +161,8 @@ func (sim *Sim) rayWork(s *sm, rid int32, now uint64) {
 	u := &s.rt
 	r := &u.rays[rid]
 	if int(r.idx) < len(r.steps) {
-		u.ready = append(u.ready, rid)
+		u.ready.push(rid)
+		sim.activate(s)
 		return
 	}
 	// Ray complete.
@@ -165,10 +179,11 @@ func (sim *Sim) rayWork(s *sm, rid int32, now uint64) {
 	}
 	// Last ray of the warp's trace call: free the slot and resume the warp.
 	sim.releaseRTSlot(s, now)
-	if warpFinished(w) {
+	if w.live == 0 {
 		sim.retireWarp(s, warpSlot, now)
 	} else {
 		s.markReady(warpSlot)
+		sim.activate(s)
 	}
 }
 
@@ -177,9 +192,8 @@ func (sim *Sim) rayWork(s *sm, rid int32, now uint64) {
 func (sim *Sim) fetchDone(s *sm) {
 	u := &s.rt
 	u.outstanding--
-	if len(u.stalled) > 0 {
-		rid := u.stalled[0]
-		u.stalled = u.stalled[1:]
-		u.ready = append(u.ready, rid)
+	if u.stalled.len() > 0 {
+		u.ready.push(u.stalled.pop())
+		sim.activate(s)
 	}
 }

@@ -56,6 +56,14 @@ func (x *Crossbar) deliver(ports []uint64, i int, now uint64) uint64 {
 	return start + x.latency
 }
 
+// Reset restores the crossbar to its idle post-New state. The simulator
+// pool reuses crossbars across runs.
+func (x *Crossbar) Reset() {
+	clear(x.toPartition)
+	clear(x.toSM)
+	x.packets, x.queuedCycles = 0, 0
+}
+
 // Stats reports aggregate crossbar activity.
 type Stats struct {
 	Packets uint64

@@ -1,0 +1,58 @@
+package obs
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// StartProfiles starts the pprof collectors behind the commands'
+// -cpuprofile/-memprofile flags. Either path may be empty to disable that
+// profile. The returned stop function flushes both files; it is idempotent
+// so commands can invoke it on every exit path — including the SIGINT
+// path — the same way -trace files are flushed, and an interrupted run
+// still leaves analysable profiles. Flush failures are reported to stderr
+// rather than returned: by that point the command's real work is done.
+func StartProfiles(cpuPath, memPath string) (stop func(), err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("cpu profile: %w", err)
+		}
+	}
+	stopped := false
+	return func() {
+		if stopped {
+			return
+		}
+		stopped = true
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "cpu profile:", err)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "mem profile:", err)
+				return
+			}
+			// Collect garbage first so the heap profile reflects live
+			// memory, not whatever the last GC cycle happened to leave.
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "mem profile:", err)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "mem profile:", err)
+			}
+		}
+	}, nil
+}

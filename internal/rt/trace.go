@@ -6,7 +6,11 @@
 // replays these traces under a particular hardware configuration.
 package rt
 
-import "fmt"
+import (
+	"fmt"
+
+	"zatel/internal/bvh"
+)
 
 // Memory regions for non-BVH data, disjoint from bvh.NodeBase/bvh.TriBase.
 const (
@@ -58,27 +62,18 @@ type Op struct {
 	Arg uint32
 }
 
-// Packed traversal step layout: node index in the high 24 bits, triangle
-// test count in the low 8. Tree sizes in this repository stay far below
-// 2^24 nodes; BuildWorkload enforces the limit.
-const (
-	stepNodeShift = 8
-	stepTriMask   = 0xff
-	maxNodeIndex  = 1<<24 - 1
-)
+// maxNodeIndex mirrors the packed-step capacity. The encoding itself lives
+// in internal/bvh so traversal can append packed steps directly into the
+// workload's step arena; these re-exports keep trace consumers decoupled
+// from the acceleration structure.
+const maxNodeIndex = bvh.MaxPackedNode
 
-// PackStep encodes a traversal step. Triangle-test counts saturate at 255.
-func PackStep(node int32, triTests int32) uint32 {
-	if triTests > stepTriMask {
-		triTests = stepTriMask
-	}
-	return uint32(node)<<stepNodeShift | uint32(triTests)
-}
+// PackStep encodes a traversal step (bvh.PackStep). Triangle-test counts
+// saturate at 255.
+func PackStep(node int32, triTests int32) uint32 { return bvh.PackStep(node, triTests) }
 
-// UnpackStep decodes a traversal step.
-func UnpackStep(s uint32) (node int32, triTests int32) {
-	return int32(s >> stepNodeShift), int32(s & stepTriMask)
-}
+// UnpackStep decodes a traversal step (bvh.UnpackStep).
+func UnpackStep(s uint32) (node int32, triTests int32) { return bvh.UnpackStep(s) }
 
 // RayKind labels what role a traced ray plays in the path; the timing model
 // reports RT statistics per kind.
@@ -106,6 +101,30 @@ type ThreadTrace struct {
 	Ops  []Op
 	Rays []RayTrace
 }
+
+// TraceSource supplies threads to a simulation in warp order without
+// requiring the caller to materialise a contiguous []ThreadTrace. Zatel's
+// group runs mix selected pixels (traces read straight from the workload)
+// with filtered ones (a single shared prologue trace), so a view costs
+// nothing where a copy used to cost one slice per simulator call.
+// Implementations must be safe for concurrent readers and the returned
+// traces must not be mutated.
+type TraceSource interface {
+	// Len returns the number of threads.
+	Len() int
+	// At returns thread i's trace. The pointer is borrowed: it stays valid
+	// for the duration of the simulation and must be treated as read-only.
+	At(i int) *ThreadTrace
+}
+
+// TraceSlice adapts a []ThreadTrace to the TraceSource interface.
+type TraceSlice []ThreadTrace
+
+// Len implements TraceSource.
+func (s TraceSlice) Len() int { return len(s) }
+
+// At implements TraceSource.
+func (s TraceSlice) At(i int) *ThreadTrace { return &s[i] }
 
 // Instructions returns the number of SM instructions the thread issues:
 // every op is one instruction except OpCompute which accounts for Arg.

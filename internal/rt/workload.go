@@ -6,6 +6,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"unsafe"
 
 	"zatel/internal/bvh"
 	"zatel/internal/scene"
@@ -27,35 +28,93 @@ type Workload struct {
 	// Cost is the per-pixel execution-cost estimate (row-major) used to
 	// build heatmaps: node visits + 2·triangle tests + instructions/4.
 	Cost []float64
+
+	// The arenas back every trace's Ops/Rays/Steps slices after
+	// compaction: three allocations for the whole frame instead of
+	// millions of per-pixel slices, which shrinks GC scan work for
+	// store-resident workloads and gives replay row-major locality.
+	// Nil for hand-assembled workloads that never went through
+	// BuildWorkload; SizeBytes falls back to walking the traces then.
+	opsArena   []Op
+	raysArena  []RayTrace
+	stepsArena []uint32
 }
 
 // Pixels returns Width·Height.
 func (w *Workload) Pixels() int { return w.Width * w.Height }
 
-// SizeBytes approximates the workload's resident size for the artifact
-// store's byte accounting: the trace slices dominate (ops, rays, traversal
-// steps), plus the per-pixel cost array. The BVH and scene are shared with
-// other consumers and counted once here anyway, since the workload keeps
-// them alive.
+// Element sizes for exact byte accounting.
+const (
+	opBytes    = int64(unsafe.Sizeof(Op{}))
+	rayBytes   = int64(unsafe.Sizeof(RayTrace{}))
+	stepBytes  = int64(unsafe.Sizeof(uint32(0)))
+	traceBytes = int64(unsafe.Sizeof(ThreadTrace{}))
+)
+
+// SizeBytes returns the workload's exact resident size for the artifact
+// store's byte accounting. For compacted workloads the three arenas hold
+// every op, ray and traversal step, so the count is exact rather than the
+// pre-arena estimate; hand-assembled workloads are walked trace by trace.
+// The BVH and scene data are counted here because the workload keeps them
+// alive.
 func (w *Workload) SizeBytes() int64 {
-	const (
-		opBytes   = 8  // Op{Kind uint8, Arg uint32} padded
-		rayBytes  = 32 // RayTrace header incl. slice header
-		stepBytes = 4
-	)
-	n := int64(len(w.Cost)) * 8
-	for i := range w.Traces {
-		t := &w.Traces[i]
-		n += int64(len(t.Ops)) * opBytes
-		n += int64(len(t.Rays)) * rayBytes
-		for j := range t.Rays {
-			n += int64(len(t.Rays[j].Steps)) * stepBytes
+	n := int64(unsafe.Sizeof(*w))
+	n += int64(len(w.Cost)) * 8
+	n += int64(len(w.Traces)) * traceBytes
+	if w.opsArena != nil || w.raysArena != nil || w.stepsArena != nil {
+		n += int64(cap(w.opsArena))*opBytes +
+			int64(cap(w.raysArena))*rayBytes +
+			int64(cap(w.stepsArena))*stepBytes
+	} else {
+		for i := range w.Traces {
+			t := &w.Traces[i]
+			n += int64(len(t.Ops)) * opBytes
+			n += int64(len(t.Rays)) * rayBytes
+			for j := range t.Rays {
+				n += int64(len(t.Rays[j].Steps)) * stepBytes
+			}
 		}
 	}
 	if w.BVH != nil {
-		n += int64(len(w.BVH.Nodes))*64 + int64(len(w.BVH.Tris))*64
+		n += w.BVH.SizeBytes()
 	}
 	return n
+}
+
+// compact rewrites every trace's slices into three shared backing arrays in
+// row-major pixel order. The per-worker tracing arenas over-allocate and
+// interleave pixels by row ownership; compaction restores determinism of
+// layout, trims capacity to exactly the traced sizes, and drops the
+// oversized worker arenas.
+func (w *Workload) compact() {
+	var nOps, nRays, nSteps int
+	for i := range w.Traces {
+		t := &w.Traces[i]
+		nOps += len(t.Ops)
+		nRays += len(t.Rays)
+		for j := range t.Rays {
+			nSteps += len(t.Rays[j].Steps)
+		}
+	}
+	ops := make([]Op, 0, nOps)
+	rays := make([]RayTrace, 0, nRays)
+	steps := make([]uint32, 0, nSteps)
+	for i := range w.Traces {
+		t := &w.Traces[i]
+		o0 := len(ops)
+		ops = append(ops, t.Ops...)
+		r0 := len(rays)
+		for j := range t.Rays {
+			s0 := len(steps)
+			steps = append(steps, t.Rays[j].Steps...)
+			rays = append(rays, RayTrace{Kind: t.Rays[j].Kind, Steps: steps[s0:len(steps):len(steps)]})
+		}
+		// Three-index slicing caps capacity so an accidental append by a
+		// consumer cannot silently overwrite the next pixel's data.
+		t.Ops = ops[o0:len(ops):len(ops)]
+		t.Rays = rays[r0:len(rays):len(rays)]
+	}
+	w.opsArena, w.raysArena, w.stepsArena = ops, rays, steps
 }
 
 // BuildWorkload path-traces every pixel of the scene at the given
@@ -132,49 +191,59 @@ feed:
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	w.compact()
 	return w, nil
 }
 
-// tracer carries the per-goroutine state of workload construction.
+// tracer carries the per-goroutine state of workload construction. Each
+// worker appends every pixel's ops, rays and traversal steps into shared
+// growing arenas instead of allocating per-pixel slices; the workload's
+// compact pass later rewrites them into the deterministic row-major
+// per-workload arenas (see Workload.compact), so worker arena layout never
+// leaks into the result.
 type tracer struct {
 	scene *scene.Scene
 	bvh   *bvh.BVH
 	cam   *scene.Camera
+
+	ops   []Op
+	rays  []RayTrace
+	steps []uint32
 }
 
 // tracePixel executes the synthetic ray-generation shader for one pixel:
 // spp independent paths, each tracing a primary ray, shadow rays at hits,
-// and mirror/diffuse bounces up to the scene's depth limit.
+// and mirror/diffuse bounces up to the scene's depth limit. The returned
+// trace's slices point into the tracer's arenas; growth can leave earlier
+// traces on retired backing arrays, which is fine — contents are immutable
+// once a pixel finishes, and compaction re-homes everything.
 func (tr *tracer) tracePixel(x, y, width, height, spp int, rng *vecmath.RNG) ThreadTrace {
-	t := ThreadTrace{}
+	opsStart, raysStart := len(tr.ops), len(tr.rays)
 	pix := uint32(y*width + x)
 	fbAddr := uint32(FBBase + uint64(pix)*FBBytes)
 
 	compute := func(n uint32) {
-		// Merge adjacent compute ops to keep traces compact.
-		if len(t.Ops) > 0 && t.Ops[len(t.Ops)-1].Kind == OpCompute {
-			t.Ops[len(t.Ops)-1].Arg += n
+		// Merge adjacent compute ops (of this pixel) to keep traces compact.
+		if len(tr.ops) > opsStart && tr.ops[len(tr.ops)-1].Kind == OpCompute {
+			tr.ops[len(tr.ops)-1].Arg += n
 			return
 		}
-		t.Ops = append(t.Ops, Op{Kind: OpCompute, Arg: n})
+		tr.ops = append(tr.ops, Op{Kind: OpCompute, Arg: n})
 	}
-	load := func(addr uint64) { t.Ops = append(t.Ops, Op{Kind: OpLoad, Arg: uint32(addr)}) }
-	store := func(addr uint32) { t.Ops = append(t.Ops, Op{Kind: OpStore, Arg: addr}) }
+	load := func(addr uint64) { tr.ops = append(tr.ops, Op{Kind: OpLoad, Arg: uint32(addr)}) }
+	store := func(addr uint32) { tr.ops = append(tr.ops, Op{Kind: OpStore, Arg: addr}) }
 
 	traceRay := func(r vecmath.Ray, kind RayKind, any bool) (bvh.Hit, bool) {
-		rt := RayTrace{Kind: kind}
-		visit := func(s bvh.Step) {
-			rt.Steps = append(rt.Steps, PackStep(s.Node, s.TriTests))
-		}
+		stepsStart := len(tr.steps)
 		var hit bvh.Hit
 		var ok bool
 		if any {
-			ok = tr.bvh.IntersectAny(r, visit)
+			ok = tr.bvh.IntersectAnyPacked(r, &tr.steps)
 		} else {
-			hit, ok = tr.bvh.Intersect(r, visit)
+			hit, ok = tr.bvh.IntersectPacked(r, &tr.steps)
 		}
-		t.Ops = append(t.Ops, Op{Kind: OpTrace, Arg: uint32(len(t.Rays))})
-		t.Rays = append(t.Rays, rt)
+		tr.ops = append(tr.ops, Op{Kind: OpTrace, Arg: uint32(len(tr.rays) - raysStart)})
+		tr.rays = append(tr.rays, RayTrace{Kind: kind, Steps: tr.steps[stepsStart:len(tr.steps)]})
 		return hit, ok
 	}
 
@@ -237,7 +306,7 @@ func (tr *tracer) tracePixel(x, y, width, height, spp int, rng *vecmath.RNG) Thr
 			break
 		}
 	}
-	return t
+	return ThreadTrace{Ops: tr.ops[opsStart:], Rays: tr.rays[raysStart:]}
 }
 
 // WorkloadKey is the content address of a functional trace: the workload
@@ -281,7 +350,9 @@ func CachedWorkloadContext(ctx context.Context, name string, width, height, spp 
 			if err != nil {
 				return nil, 0, err
 			}
-			return w, w.SizeBytes(), nil
+			// Size 0 defers to the store's Sizer fallback: the workload
+			// reports its exact arena-backed footprint itself.
+			return w, 0, nil
 		})
 	if err != nil {
 		return nil, err

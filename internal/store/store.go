@@ -112,6 +112,13 @@ var defaultStore = New(0)
 // Default returns the process-wide shared store.
 func Default() *Store { return defaultStore }
 
+// Sizer is implemented by artifacts that know their own resident size.
+// GetOrBuild consults it when the builder reports a non-positive size.
+type Sizer interface {
+	// SizeBytes returns the artifact's resident size in bytes.
+	SizeBytes() int64
+}
+
 // GetOrBuild returns the artifact for key, running build at most once per
 // key across all concurrent callers. The build receives ctx; its failure is
 // returned to the builder and every coalesced waiter but is not cached, so
@@ -119,9 +126,12 @@ func Default() *Store { return defaultStore }
 // build itself keeps running for the callers still interested). A build
 // that panics is converted into an error rather than crashing the caller.
 //
-// build returns the artifact and its approximate resident size in bytes,
-// which is what the LRU budget accounts. Artifacts larger than the whole
-// budget are returned but not retained.
+// build returns the artifact and its resident size in bytes, which is what
+// the LRU budget accounts. When build reports a non-positive size and the
+// artifact implements Sizer, the store asks the artifact itself — types
+// with arena-backed storage (rt.Workload, bvh.BVH) report exact footprints
+// that a builder-side estimate would only approximate. Artifacts larger
+// than the whole budget are returned but not retained.
 func (s *Store) GetOrBuild(ctx context.Context, key Digest, build func(ctx context.Context) (any, int64, error)) (any, Outcome, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -172,6 +182,11 @@ func (s *Store) GetOrBuild(ctx context.Context, key Digest, build func(ctx conte
 	if err != nil {
 		s.buildErrors++
 	} else {
+		if size <= 0 {
+			if sz, ok := v.(Sizer); ok {
+				size = sz.SizeBytes()
+			}
+		}
 		f.value = v
 		s.insertLocked(key, v, size)
 	}

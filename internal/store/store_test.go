@@ -292,3 +292,34 @@ func TestConcurrentDistinctKeys(t *testing.T) {
 		t.Errorf("lookup accounting: %+v", c)
 	}
 }
+
+type sizedArtifact struct{ size int64 }
+
+func (a sizedArtifact) SizeBytes() int64 { return a.size }
+
+func TestSizerFallback(t *testing.T) {
+	s := New(0)
+	ctx := context.Background()
+
+	// Builder-reported size wins when positive.
+	_, _, err := s.GetOrBuild(ctx, key(1), func(context.Context) (any, int64, error) {
+		return sizedArtifact{size: 999}, 10, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := s.Snapshot(); c.Bytes != 10 {
+		t.Errorf("bytes = %d, want builder-reported 10", c.Bytes)
+	}
+
+	// Zero size defers to the artifact's own accounting.
+	_, _, err = s.GetOrBuild(ctx, key(2), func(context.Context) (any, int64, error) {
+		return sizedArtifact{size: 999}, 0, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := s.Snapshot(); c.Bytes != 10+999 {
+		t.Errorf("bytes = %d, want 1009 after Sizer fallback", c.Bytes)
+	}
+}

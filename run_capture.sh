@@ -6,4 +6,6 @@ go test -bench=. -benchmem -timeout 90m ./... > /root/repo/bench_output.txt 2>&1
 echo "BENCH_EXIT=$?" >> /root/repo/bench_output.txt
 ZATEL_BENCH_STORE_JSON=/root/repo/BENCH_store.json go test -run 'TestWarmStoreSpeedup' -count=1 -timeout 10m . > /root/repo/bench_store_output.txt 2>&1
 echo "BENCH_STORE_EXIT=$?" >> /root/repo/bench_store_output.txt
+ZATEL_BENCH_GPU_JSON=/root/repo/BENCH_gpu.json go test -run 'TestGPUHotPathSpeedup' -count=1 -timeout 10m . > /root/repo/bench_gpu_output.txt 2>&1
+echo "BENCH_GPU_EXIT=$?" >> /root/repo/bench_gpu_output.txt
 touch /root/repo/.capture_done
