@@ -1,0 +1,108 @@
+// Adaptive-sampling benchmark: a replicated strategy with a CI target
+// against the fixed-fraction baseline on the same scene. The acceptance
+// smoke — adaptive mode stops within its round cap and returns intervals
+// that bracket the prediction — is asserted by TestAdaptiveSamplingBench,
+// which also emits machine-readable numbers (wall times, rounds, realized
+// fractions, achieved half-width) when ZATEL_BENCH_SAMPLING_JSON names a
+// path.
+package zatel_test
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+	"time"
+
+	"zatel/internal/config"
+	"zatel/internal/core"
+	"zatel/internal/metrics"
+	"zatel/internal/sampling"
+)
+
+func samplingBenchOptions() core.Options {
+	return core.Options{
+		Config: config.MobileSoC(),
+		Scene:  "PARK",
+		Width:  96, Height: 96, SPP: 1,
+		Dist:          sampling.Uniform,
+		FixedFraction: 0.3,
+		Seed:          7,
+	}
+}
+
+func TestAdaptiveSamplingBench(t *testing.T) {
+	base := samplingBenchOptions()
+	start := time.Now()
+	fixed, err := core.Predict(base)
+	if err != nil {
+		t.Fatalf("fixed-fraction baseline: %v", err)
+	}
+	fixedWall := time.Since(start)
+
+	const targetCI = 0.10
+	const maxRounds = 4
+	adaptive := base
+	adaptive.Dist = sampling.RankedSet
+	adaptive.TargetCIHalfWidth = targetCI
+	adaptive.Sampling.MaxRounds = maxRounds
+	start = time.Now()
+	rep, err := core.Predict(adaptive)
+	if err != nil {
+		t.Fatalf("adaptive run: %v", err)
+	}
+	adaptiveWall := time.Since(start)
+
+	if rep.Intervals == nil {
+		t.Fatal("adaptive run produced no intervals")
+	}
+	for _, m := range metrics.All() {
+		iv := rep.Intervals[m]
+		if iv.Low > rep.Predicted[m] || rep.Predicted[m] > iv.High {
+			t.Errorf("%s: interval [%v,%v] does not bracket prediction %v",
+				m, iv.Low, iv.High, rep.Predicted[m])
+		}
+	}
+	rounds, replicates := 0, 0
+	var fracSum float64
+	for gi, g := range rep.Groups {
+		if g.Rounds < 1 || g.Rounds > maxRounds {
+			t.Errorf("group %d ran %d rounds, cap is %d", gi, g.Rounds, maxRounds)
+		}
+		if g.Rounds > rounds {
+			rounds = g.Rounds
+		}
+		replicates = g.Replicates
+		fracSum += g.Fraction
+	}
+	achieved := rep.Intervals.MaxRelHalfWidth()
+	t.Logf("fixed %v; adaptive %v, %d replicates, worst %d round(s), achieved half-width %.3f (target %.3f)",
+		fixedWall, adaptiveWall, replicates, rounds, achieved, targetCI)
+
+	if path := os.Getenv("ZATEL_BENCH_SAMPLING_JSON"); path != "" {
+		out := map[string]any{
+			"scene":              "PARK",
+			"width":              96,
+			"height":             96,
+			"spp":                1,
+			"fixed_fraction":     0.3,
+			"fixed_ms":           float64(fixedWall) / 1e6,
+			"adaptive_ms":        float64(adaptiveWall) / 1e6,
+			"strategy":           adaptive.Dist.String(),
+			"replicates":         replicates,
+			"max_rounds":         maxRounds,
+			"worst_rounds":       rounds,
+			"mean_fraction":      fracSum / float64(len(rep.Groups)),
+			"target_ci":          targetCI,
+			"achieved_halfwidth": achieved,
+			"fixed_cycles":       fixed.Predicted[metrics.SimCycles],
+			"adaptive_cycles":    rep.Predicted[metrics.SimCycles],
+		}
+		data, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			t.Fatalf("marshal bench json: %v", err)
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			t.Fatalf("write %s: %v", path, err)
+		}
+	}
+}

@@ -25,6 +25,16 @@ go test -race -short -timeout 5m \
 	-run 'Fault|Inject|Degraded|Quorum|Retr|Policy|Straggl|Backoff' \
 	./internal/faults/ ./internal/runner/ ./internal/core/ ./internal/experiments/
 
+# Short-mode adaptive-sampling smoke: the replicated strategies' determinism
+# and disjointness properties, interval construction, the adaptive loop's
+# round cap, and the service's CI response shape under the race detector
+# (see DESIGN.md "Statistical rigor").
+go test -race -short -timeout 5m \
+	-run 'Replicat|Adaptive|Interval|Deterministic|Overshoot|RespectsCap|CIResponse|CIValidation' \
+	./internal/sampling/ ./internal/extrapolate/ ./internal/combine/ \
+	./internal/core/ ./internal/service/
+go test -race -short -timeout 5m -run 'TestAdaptiveSamplingBench' .
+
 # Docs lint: every package documented, every exported metric name present in
 # OPERATIONS.md.
 ./scripts/lint_docs.sh

@@ -31,18 +31,24 @@ import (
 	"zatel/internal/experiments"
 	"zatel/internal/faults"
 	"zatel/internal/obs"
+	"zatel/internal/sampling"
 	"zatel/internal/scene"
 	"zatel/internal/store"
 )
 
 func main() {
 	var (
-		res       = flag.Int("res", 256, "square frame resolution")
-		spp       = flag.Int("spp", 1, "samples per pixel")
-		cfgName   = flag.String("config", "rtx2060", "config for per-config sweeps (mobile or rtx2060)")
-		reps      = flag.Int("reps", 5, "random-selection repetitions for table3")
-		workers   = flag.Int("workers", 0, "experiment-grid worker pool size (0 = one per CPU core, 1 = serial)")
-		storeSize = flag.String("store-size", "0", "artifact store byte budget, e.g. 256MiB (0 = unbounded)")
+		res        = flag.Int("res", 256, "square frame resolution")
+		spp        = flag.Int("spp", 1, "samples per pixel")
+		cfgName    = flag.String("config", "rtx2060", "config for per-config sweeps (mobile or rtx2060)")
+		reps       = flag.Int("reps", 5, "random-selection repetitions for table3")
+		sampl      = flag.String("sampling", "", "sampling strategy for the grids: uniform, lintmp, exptmp, stratified or rankedset (empty = uniform; stratified/rankedset add ± error bars)")
+		targetCI   = flag.Float64("target-ci", 0, "adaptive sampling: relative CI half-width target (requires -sampling stratified or rankedset)")
+		replicates = flag.Int("replicates", 0, "replicate sub-draws per round for stratified/rankedset (0 = default 5)")
+		confidence = flag.Float64("confidence", 0, "confidence level for intervals: 0.90, 0.95 or 0.99 (0 = 0.95)")
+		maxRounds  = flag.Int("max-rounds", 0, "adaptive re-draw round cap with -target-ci (0 = default 4)")
+		workers    = flag.Int("workers", 0, "experiment-grid worker pool size (0 = one per CPU core, 1 = serial)")
+		storeSize  = flag.String("store-size", "0", "artifact store byte budget, e.g. 256MiB (0 = unbounded)")
 
 		attempts   = flag.Int("attempts", 1, "max attempts per group instance (retries on failure)")
 		backoff    = flag.Duration("retry-backoff", 0, "base backoff between attempts (doubles, seeded jitter)")
@@ -118,7 +124,13 @@ func main() {
 
 	settings := experiments.Settings{
 		Width: *res, Height: *res, SPP: *spp, Workers: *workers,
-		Ctx: ctx,
+		Ctx:      ctx,
+		TargetCI: *targetCI,
+		Sampling: core.SamplingOptions{
+			Replicates: *replicates,
+			Confidence: *confidence,
+			MaxRounds:  *maxRounds,
+		},
 		FT: core.FaultTolerance{
 			Attempts: *attempts,
 			Backoff:  *backoff,
@@ -132,6 +144,10 @@ func main() {
 				Seed:          *injSeed,
 			},
 		},
+	}
+	settings.Dist, err = sampling.ParseDistribution(strings.ToLower(*sampl))
+	if err != nil {
+		fatal(err)
 	}
 	cfg, err := configByName(*cfgName)
 	if err != nil {

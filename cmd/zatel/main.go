@@ -39,7 +39,12 @@ func main() {
 		res        = flag.Int("res", 128, "square frame resolution")
 		spp        = flag.Int("spp", 2, "samples per pixel")
 		division   = flag.String("division", "fine", "image-plane division: fine or coarse")
-		dist       = flag.String("dist", "uniform", "pixel distribution: uniform, lintmp or exptmp")
+		dist       = flag.String("dist", "uniform", "pixel distribution: uniform, lintmp, exptmp, stratified or rankedset")
+		sampl      = flag.String("sampling", "", "sampling strategy, an alias for -dist that reads better for the replicated strategies (stratified, rankedset); overrides -dist when set")
+		targetCI   = flag.Float64("target-ci", 0, "adaptive sampling: relative CI half-width target, e.g. 0.05 for ±5% (requires stratified or rankedset; 0 = one round)")
+		replicates = flag.Int("replicates", 0, "replicate sub-draws per round for stratified/rankedset (0 = default 5)")
+		confidence = flag.Float64("confidence", 0, "confidence level for intervals: 0.90, 0.95 or 0.99 (0 = 0.95)")
+		maxRounds  = flag.Int("max-rounds", 0, "adaptive re-draw round cap with -target-ci (0 = default 4)")
 		percent    = flag.Float64("percent", 0, "fixed traced-pixel fraction in (0,1]; 0 uses Eq. 1")
 		maxPercent = flag.Float64("maxpercent", 0, "cap on the Eq. 1 budget (0 = none)")
 		k          = flag.Int("k", 0, "downscaling factor override (0 = gcd rule)")
@@ -98,14 +103,20 @@ func main() {
 		Config: cfg,
 		Scene:  *sceneName,
 		Width:  *res, Height: *res, SPP: *spp,
-		K:             *k,
-		NoDownscale:   *noDown,
-		FixedFraction: *percent,
-		MaxFraction:   *maxPercent,
-		Regression:    *regression,
-		Seed:          *seed,
-		Parallel:      *parallel,
-		Workers:       *workers,
+		K:                 *k,
+		NoDownscale:       *noDown,
+		FixedFraction:     *percent,
+		MaxFraction:       *maxPercent,
+		Regression:        *regression,
+		Seed:              *seed,
+		Parallel:          *parallel,
+		Workers:           *workers,
+		TargetCIHalfWidth: *targetCI,
+		Sampling: core.SamplingOptions{
+			Replicates: *replicates,
+			Confidence: *confidence,
+			MaxRounds:  *maxRounds,
+		},
 		FT: core.FaultTolerance{
 			Attempts: *attempts,
 			Backoff:  *backoff,
@@ -128,15 +139,13 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown division %q", *division))
 	}
-	switch strings.ToLower(*dist) {
-	case "uniform":
-		opts.Dist = sampling.Uniform
-	case "lintmp":
-		opts.Dist = sampling.LinTmp
-	case "exptmp":
-		opts.Dist = sampling.ExpTmp
-	default:
-		fatal(fmt.Errorf("unknown distribution %q", *dist))
+	distName := *dist
+	if *sampl != "" {
+		distName = *sampl
+	}
+	opts.Dist, err = sampling.ParseDistribution(strings.ToLower(distName))
+	if err != nil {
+		fatal(err)
 	}
 
 	// SIGINT/SIGTERM cancel the prediction: the pool drains its running
@@ -182,9 +191,20 @@ func main() {
 		if g.Attempts > 1 {
 			retries = fmt.Sprintf(", %d attempts", g.Attempts)
 		}
-		fmt.Printf("  group %d: %d/%d pixels traced (%.1f%%), %d cycles, %s (queued %s%s)\n",
+		reps := ""
+		if g.Rounds > 0 {
+			met := ""
+			if *targetCI > 0 {
+				met = ", target met"
+				if !g.TargetMet {
+					met = ", target unmet"
+				}
+			}
+			reps = fmt.Sprintf(", %d replicates x %d round(s)%s", g.Replicates, g.Rounds, met)
+		}
+		fmt.Printf("  group %d: %d/%d pixels traced (%.1f%%), %d cycles, %s (queued %s%s%s)\n",
 			gi, g.Selected, g.Pixels, 100*g.Fraction, g.Report.Cycles,
-			g.WallTime.Round(1e6), g.QueueTime.Round(1e6), retries)
+			g.WallTime.Round(1e6), g.QueueTime.Round(1e6), retries, reps)
 	}
 	if d := result.Degraded; d != nil {
 		fmt.Printf("  %s\n", d)
@@ -194,6 +214,10 @@ func main() {
 		result.TotalCPUTime.Round(1e6))
 
 	if !*compare {
+		if result.Intervals != nil {
+			printIntervals(result, *confidence)
+			return
+		}
 		fmt.Printf("%-22s%16s\n", "Metric", "Predicted")
 		for _, m := range metrics.All() {
 			fmt.Printf("%-22s%16.4f\n", m, result.Predicted[m])
@@ -213,9 +237,35 @@ func main() {
 	if result.Degraded != nil {
 		fmt.Printf("(errors measured against a degraded prediction: %s)\n", result.Degraded)
 	}
+	if result.Intervals != nil {
+		fmt.Println()
+		printIntervals(result, *confidence)
+	}
 	fmt.Printf("\nMAE %.1f%%   speedup %.1fx (full sim %s vs zatel %s)\n",
 		100*metrics.MAE(errs, metrics.All()), result.Speedup(ref),
 		ref.WallTime.Round(1e6), (result.PreprocessTime + result.SimWallTime).Round(1e6))
+}
+
+// printIntervals renders the replicated strategies' confidence intervals:
+// the point prediction with its CI bounds and ± half-width per metric.
+func printIntervals(result *core.Result, confFlag float64) {
+	conf := confFlag
+	if conf == 0 {
+		conf = 0.95
+	}
+	reps := 0
+	for _, iv := range result.Intervals {
+		if reps == 0 || iv.Replicates < reps {
+			reps = iv.Replicates
+		}
+	}
+	fmt.Printf("%-22s%16s%16s%16s%12s\n", "Metric", "Predicted", "CI low", "CI high", "±half")
+	for _, m := range metrics.All() {
+		iv := result.Intervals[m]
+		fmt.Printf("%-22s%16.4f%16.4f%16.4f%12.4f\n",
+			m, result.Predicted[m], iv.Low, iv.High, iv.HalfWidth())
+	}
+	fmt.Printf("(%.0f%% confidence from %d replicate sub-draws per group)\n", 100*conf, reps)
 }
 
 // writeTrace exports the tracer's spans as Chrome trace_event JSON.

@@ -28,8 +28,11 @@ func main() {
 	//   5 = 181·perc^-1.15  =>  perc = (181/5)^(1/1.15)
 	const wantSpeedup = 5.0
 	perc := math.Pow(181/wantSpeedup, 1/1.15)
-	fmt.Printf("Eq. 4 says %.0f%% of pixels gives ≈%.1fx speedup\n",
-		perc, extrapolate.SpeedupModel(perc))
+	speedup, err := extrapolate.SpeedupModel(perc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Eq. 4 says %.0f%% of pixels gives ≈%.1fx speedup\n", perc, speedup)
 
 	res, err := core.Predict(core.Options{
 		Config: cfg,

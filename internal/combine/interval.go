@@ -1,0 +1,124 @@
+package combine
+
+import (
+	"fmt"
+
+	"zatel/internal/extrapolate"
+	"zatel/internal/metrics"
+)
+
+// GroupIntervals holds one group's per-metric confidence intervals, built
+// from the per-replicate extrapolations of a repeated-subsampling run.
+type GroupIntervals map[metrics.Metric]extrapolate.Interval
+
+// LinearReplicates converts a group's per-replicate simulator reports into
+// per-metric confidence intervals: each replicate's absolute metrics are
+// extrapolated by that replicate's own realized fraction, rate metrics pass
+// through unscaled, and the Student-t interval over the replicate values
+// becomes the group's interval for the metric.
+func LinearReplicates(reps []metrics.Report, fractions []float64, confidence float64) (GroupIntervals, error) {
+	if len(reps) != len(fractions) || len(reps) == 0 {
+		return nil, fmt.Errorf("combine: need matched non-empty reports/fractions, got %d/%d", len(reps), len(fractions))
+	}
+	out := make(GroupIntervals, len(metrics.All()))
+	for _, m := range metrics.All() {
+		ests := make([]float64, len(reps))
+		for i, rep := range reps {
+			v := rep.Value(m)
+			if m.Absolute() {
+				scaled, err := extrapolate.Linear(v, fractions[i])
+				if err != nil {
+					return nil, fmt.Errorf("combine: %s replicate %d: %w", m, i, err)
+				}
+				v = scaled
+			}
+			ests[i] = v
+		}
+		iv, err := extrapolate.ReplicateInterval(ests, confidence)
+		if err != nil {
+			return nil, fmt.Errorf("combine: %s: %w", m, err)
+		}
+		out[m] = iv
+	}
+	return out, nil
+}
+
+// MaxRelHalfWidth returns the worst relative confidence half-width across
+// metrics: half-width divided by |mean|, or the absolute half-width where
+// the mean is zero. It is the adaptive stopping statistic and the
+// observation behind the zatel_ci_halfwidth histogram.
+func (gi GroupIntervals) MaxRelHalfWidth() float64 {
+	worst := 0.0
+	for _, iv := range gi {
+		h := iv.HalfWidth()
+		if m := iv.Mean; m != 0 {
+			if m < 0 {
+				m = -m
+			}
+			h /= m
+		}
+		if h > worst {
+			worst = h
+		}
+	}
+	return worst
+}
+
+// Means projects the interval midpoints down to plain per-metric values, so
+// replicated runs feed the same Merge path as point-estimate runs.
+func (gi GroupIntervals) Means() GroupValues {
+	out := make(GroupValues, len(gi))
+	for m, iv := range gi {
+		out[m] = iv.Mean
+	}
+	return out
+}
+
+// MergeIntervals combines per-group intervals into full-GPU intervals using
+// the conservative endpoint rule: the merged low (high) endpoint applies
+// Merge's combination — IPC sums, everything else averages — to the
+// per-group low (high) endpoints. This brackets every convex combination
+// the groups could realize; it is wider than an independence-based
+// (root-sum-square) interval and never understates uncertainty. As in
+// MergeDegraded, total > len(groups) re-weights the IPC endpoints by
+// total/len(groups) to stand in for groups lost to faults.
+func MergeIntervals(groups []GroupIntervals, total int, confidence float64) (GroupIntervals, error) {
+	if len(groups) == 0 {
+		return nil, fmt.Errorf("combine: no groups")
+	}
+	if total < len(groups) {
+		return nil, fmt.Errorf("combine: %d surviving groups exceed total %d", len(groups), total)
+	}
+	out := make(GroupIntervals, len(metrics.All()))
+	n := float64(len(groups))
+	for _, m := range metrics.All() {
+		var lo, hi, mean float64
+		reps := 0
+		for gi, g := range groups {
+			iv, ok := g[m]
+			if !ok {
+				return nil, fmt.Errorf("combine: group %d missing interval for %s", gi, m)
+			}
+			lo += iv.Low
+			hi += iv.High
+			mean += iv.Mean
+			if reps == 0 || iv.Replicates < reps {
+				reps = iv.Replicates
+			}
+		}
+		if m == metrics.IPC {
+			if total > len(groups) {
+				w := float64(total) / n
+				lo *= w
+				hi *= w
+				mean *= w
+			}
+		} else {
+			lo /= n
+			hi /= n
+			mean /= n
+		}
+		out[m] = extrapolate.Interval{Mean: mean, Low: lo, High: hi, Replicates: reps}
+	}
+	return out, nil
+}

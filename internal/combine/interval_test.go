@@ -1,0 +1,105 @@
+package combine
+
+import (
+	"math"
+	"testing"
+
+	"zatel/internal/extrapolate"
+	"zatel/internal/metrics"
+)
+
+func TestLinearReplicatesIntervals(t *testing.T) {
+	// Three replicates of the same group, identical except for cycles, each
+	// covering the same fraction: the cycles interval carries the spread, the
+	// rate metrics (identical across replicates) collapse to zero width.
+	reps := []metrics.Report{
+		groupReport(900, 5000),
+		groupReport(1000, 5000),
+		groupReport(1100, 5000),
+	}
+	fracs := []float64{0.25, 0.25, 0.25}
+	gi, err := LinearReplicates(reps, fracs, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cyc := gi[metrics.SimCycles]
+	if math.Abs(cyc.Mean-4000) > 1e-9 {
+		t.Errorf("cycles mean %v, want 4000 (1000/0.25)", cyc.Mean)
+	}
+	if cyc.HalfWidth() <= 0 {
+		t.Error("cycles interval has no width despite replicate spread")
+	}
+	if hw := gi[metrics.L1DMissRate].HalfWidth(); hw != 0 {
+		t.Errorf("identical rate metric has half-width %v, want 0", hw)
+	}
+	if gi[metrics.SimCycles].Replicates != 3 {
+		t.Errorf("replicate count %d, want 3", gi[metrics.SimCycles].Replicates)
+	}
+
+	if _, err := LinearReplicates(reps, fracs[:2], 0.95); err == nil {
+		t.Error("mismatched reports/fractions accepted")
+	}
+	if _, err := LinearReplicates(nil, nil, 0.95); err == nil {
+		t.Error("empty replicates accepted")
+	}
+}
+
+func TestMaxRelHalfWidth(t *testing.T) {
+	gi := GroupIntervals{
+		metrics.SimCycles: {Mean: 100, Low: 90, High: 110}, // rel 0.1
+		metrics.IPC:       {Mean: 2, Low: 1.9, High: 2.1},  // rel 0.05
+	}
+	if got := gi.MaxRelHalfWidth(); math.Abs(got-0.1) > 1e-12 {
+		t.Errorf("MaxRelHalfWidth %v, want 0.1", got)
+	}
+	// A zero mean falls back to the absolute half-width.
+	gi[metrics.DRAMEfficiency] = extrapolate.Interval{Mean: 0, Low: -0.2, High: 0.2}
+	if got := gi.MaxRelHalfWidth(); math.Abs(got-0.2) > 1e-12 {
+		t.Errorf("zero-mean MaxRelHalfWidth %v, want absolute 0.2", got)
+	}
+}
+
+func TestMergeIntervalsEndpointRule(t *testing.T) {
+	mk := func(scale float64) GroupIntervals {
+		gi := GroupIntervals{}
+		for _, m := range metrics.All() {
+			gi[m] = extrapolate.Interval{
+				Mean: 10 * scale, Low: 9 * scale, High: 11 * scale, Replicates: 5,
+			}
+		}
+		return gi
+	}
+	merged, err := MergeIntervals([]GroupIntervals{mk(1), mk(3)}, 2, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// IPC sums endpoints; everything else averages them.
+	if iv := merged[metrics.IPC]; iv.Low != 9+27 || iv.High != 11+33 {
+		t.Errorf("IPC interval [%v,%v], want [36,44]", iv.Low, iv.High)
+	}
+	if iv := merged[metrics.SimCycles]; iv.Low != (9+27)/2.0 || iv.High != (11+33)/2.0 {
+		t.Errorf("cycles interval [%v,%v], want [18,22]", iv.Low, iv.High)
+	}
+	if merged[metrics.IPC].Replicates != 5 {
+		t.Errorf("merged replicates %d, want min 5", merged[metrics.IPC].Replicates)
+	}
+
+	// Degraded merge (one group stands in for two): IPC endpoints reweight.
+	deg, err := MergeIntervals([]GroupIntervals{mk(1)}, 2, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iv := deg[metrics.IPC]; iv.Low != 18 || iv.High != 22 {
+		t.Errorf("degraded IPC interval [%v,%v], want [18,22]", iv.Low, iv.High)
+	}
+	if iv := deg[metrics.SimCycles]; iv.Low != 9 || iv.High != 11 {
+		t.Errorf("degraded cycles interval [%v,%v], want [9,11]", iv.Low, iv.High)
+	}
+
+	if _, err := MergeIntervals(nil, 1, 0.95); err == nil {
+		t.Error("no groups accepted")
+	}
+	if _, err := MergeIntervals([]GroupIntervals{mk(1), mk(1)}, 1, 0.95); err == nil {
+		t.Error("total below group count accepted")
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"zatel/internal/config"
 	"zatel/internal/rt"
+	"zatel/internal/sampling"
 	"zatel/internal/store"
 )
 
@@ -16,9 +17,9 @@ import (
 // the cache.
 func TestCacheKeyGolden(t *testing.T) {
 	o := Options{Config: config.MobileSoC(), Scene: "PARK"}
-	const want = "3874043357d7c20f017cf79509b675863ce98b196d1b8a94cef86ea668a70393"
+	const want = "dbbb2a24aa5ba5b00cd007597aed6b29a2fef935bb921021793ba29e9d633e1d"
 	if got := o.CacheKey().String(); got != want {
-		t.Errorf("CacheKey = %s, want %s\n(deliberate format change? bump predict/v1 and update)", got, want)
+		t.Errorf("CacheKey = %s, want %s\n(deliberate format change? bump predict/v2 and update)", got, want)
 	}
 
 	wk := rt.WorkloadKey("PARK", 128, 128, 2)
@@ -60,6 +61,18 @@ func TestCacheKeyExecutionStrategyInvariant(t *testing.T) {
 	}
 }
 
+// TestCacheKeySamplingNormalised: the sampling knobs only influence
+// replicated strategies, so setting them under a point-estimate strategy
+// must not split the cache.
+func TestCacheKeySamplingNormalised(t *testing.T) {
+	base := Options{Config: config.MobileSoC(), Scene: "PARK"}
+	variant := base
+	variant.Sampling = SamplingOptions{Replicates: 9, Confidence: 0.99, MaxRounds: 7, Growth: 3}
+	if base.CacheKey() != variant.CacheKey() {
+		t.Error("sampling knobs split the cache for a point-estimate strategy")
+	}
+}
+
 // TestCacheKeySensitivity: every class of semantic field must move the key.
 func TestCacheKeySensitivity(t *testing.T) {
 	base := Options{Config: config.MobileSoC(), Scene: "PARK"}
@@ -77,6 +90,12 @@ func TestCacheKeySensitivity(t *testing.T) {
 		"attempts":    func(o *Options) { o.FT.Attempts = 3 },
 		"quorum":      func(o *Options) { o.FT.Quorum = -1 },
 		"injection":   func(o *Options) { o.FT.Inject.ErrorRate = 0.3 },
+		"dist":        func(o *Options) { o.Dist = sampling.Stratified },
+		"replicates":  func(o *Options) { o.Dist = sampling.Stratified; o.Sampling.Replicates = 8 },
+		"confidence":  func(o *Options) { o.Dist = sampling.Stratified; o.Sampling.Confidence = 0.99 },
+		"rounds":      func(o *Options) { o.Dist = sampling.Stratified; o.Sampling.MaxRounds = 6 },
+		"growth":      func(o *Options) { o.Dist = sampling.Stratified; o.Sampling.Growth = 2 },
+		"targetci":    func(o *Options) { o.Dist = sampling.Stratified; o.TargetCIHalfWidth = 0.05 },
 	}
 	seen := map[store.Digest]string{base.CacheKey(): "base"}
 	for name, f := range mutate {

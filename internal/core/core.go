@@ -80,6 +80,16 @@ type Options struct {
 	QuantLevels int
 	// Dist is the colour distribution for pixel selection.
 	Dist sampling.Distribution
+	// Sampling tunes replicate counts, the confidence level and the
+	// adaptive round schedule for the replicated strategies (stratified,
+	// rankedset); ignored for the point-estimate strategies.
+	Sampling SamplingOptions
+	// TargetCIHalfWidth, when positive, enables adaptive sample sizing:
+	// each group re-draws a Sampling.Growth-times-larger subset per round
+	// until every metric's relative CI half-width (half-width divided by
+	// |mean|) is at most this target, bounded by MaxFraction and
+	// Sampling.MaxRounds. Requires a replicated strategy.
+	TargetCIHalfWidth float64
 	// FixedFraction forces each group to trace exactly this fraction
 	// (0 = use Eq. 1).
 	FixedFraction float64
@@ -116,6 +126,25 @@ type Options struct {
 	// workload trace always lands in store.Default() regardless, since it
 	// is shared infrastructure beyond this one prediction.
 	Store *store.Store
+}
+
+// SamplingOptions tunes the repeated-subsampling machinery of the
+// replicated selection strategies. Zero values select the defaults.
+type SamplingOptions struct {
+	// Replicates is the number of disjoint sub-draws per round (default 5).
+	// Each replicate simulates and extrapolates independently; the spread
+	// of the per-replicate estimates yields the confidence interval.
+	Replicates int
+	// Confidence is the interval's confidence level: 0.90, 0.95 (the
+	// default) or 0.99 — the tabulated Student-t levels.
+	Confidence float64
+	// MaxRounds caps the adaptive re-draw rounds when TargetCIHalfWidth is
+	// set (default 4); the last round's interval stands even if the target
+	// was not met (GroupRun.TargetMet reports which).
+	MaxRounds int
+	// Growth multiplies the traced fraction between adaptive rounds
+	// (default 1.5).
+	Growth float64
 }
 
 // artifactStore resolves the store the prediction's stage hooks use.
@@ -218,6 +247,20 @@ func (o *Options) fillDefaults() {
 	if o.Seed == 0 {
 		o.Seed = 1
 	}
+	if o.Dist.Replicated() {
+		if o.Sampling.Replicates == 0 {
+			o.Sampling.Replicates = 5
+		}
+		if o.Sampling.Confidence == 0 {
+			o.Sampling.Confidence = 0.95
+		}
+		if o.Sampling.MaxRounds == 0 {
+			o.Sampling.MaxRounds = 4
+		}
+		if o.Sampling.Growth == 0 {
+			o.Sampling.Growth = 1.5
+		}
+	}
 }
 
 // GroupRun records one group's simulation.
@@ -241,12 +284,30 @@ type GroupRun struct {
 	// Err is the group's final error when it exhausted its retries; such
 	// groups carry no Report and are excluded from the merged prediction.
 	Err error
+	// Intervals holds the group's per-metric confidence intervals when the
+	// strategy is replicated (stratified, rankedset); nil otherwise. Report
+	// then holds the final round's last replicate, and Fraction/Selected
+	// cover the final round's replicates combined.
+	Intervals combine.GroupIntervals
+	// Replicates is the sub-draw count of the final round (0 for
+	// point-estimate strategies).
+	Replicates int
+	// Rounds counts the adaptive re-draw rounds executed (1 when no CI
+	// target was set; 0 for point-estimate strategies).
+	Rounds int
+	// TargetMet reports whether the CI half-width target was met (always
+	// true when no target was set).
+	TargetMet bool
 }
 
 // Result is a complete Zatel prediction.
 type Result struct {
 	// Predicted holds the final per-metric prediction.
 	Predicted combine.GroupValues
+	// Intervals holds the merged per-metric confidence intervals when the
+	// strategy is replicated (stratified, rankedset); nil otherwise.
+	// Predicted then equals the interval means.
+	Intervals combine.GroupIntervals
 	// Groups holds the per-group runs.
 	Groups []GroupRun
 	// K is the downscaling factor used.
@@ -316,6 +377,31 @@ func (o *Options) validate() error {
 	}
 	if !o.Dist.Valid() {
 		return fmt.Errorf("core: unknown distribution %d", o.Dist)
+	}
+	if o.TargetCIHalfWidth < 0 {
+		return fmt.Errorf("core: negative TargetCIHalfWidth %v", o.TargetCIHalfWidth)
+	}
+	if o.TargetCIHalfWidth > 0 && !o.Dist.Replicated() {
+		return fmt.Errorf("core: TargetCIHalfWidth requires a replicated strategy (stratified or rankedset), got %s", o.Dist)
+	}
+	if o.Dist.Replicated() {
+		if o.Regression {
+			return fmt.Errorf("core: Regression and replicated strategy %s are mutually exclusive extrapolation schemes", o.Dist)
+		}
+		if o.Sampling.Replicates < 2 {
+			return fmt.Errorf("core: Sampling.Replicates %d < 2 (a confidence interval needs at least two sub-draws)", o.Sampling.Replicates)
+		}
+		switch o.Sampling.Confidence {
+		case 0.90, 0.95, 0.99:
+		default:
+			return fmt.Errorf("core: Sampling.Confidence %v unsupported (want 0.90, 0.95 or 0.99)", o.Sampling.Confidence)
+		}
+		if o.Sampling.MaxRounds < 1 {
+			return fmt.Errorf("core: Sampling.MaxRounds %d < 1", o.Sampling.MaxRounds)
+		}
+		if o.Sampling.Growth <= 1 {
+			return fmt.Errorf("core: Sampling.Growth %v must exceed 1", o.Sampling.Growth)
+		}
 	}
 	if o.K < 0 {
 		return fmt.Errorf("core: negative downscaling factor %d", o.K)
@@ -425,7 +511,10 @@ func PredictContext(ctx context.Context, opts Options) (*Result, error) {
 		groups = groups[:1]
 	}
 
-	// Step 5: representative pixel selection per group.
+	// Step 5: representative pixel selection per group. The replicated
+	// strategies only compute the budget here — their (possibly adaptive)
+	// replicate draws happen inside the step-6 job, interleaved with the
+	// simulations they grow from.
 	_, sp5 := obs.StartSpan(ctx, "step5_select")
 	rootRNG := vecmath.NewRNG(opts.Seed)
 	type groupPlan struct {
@@ -442,6 +531,10 @@ func PredictContext(ctx context.Context, opts Options) (*Result, error) {
 			if opts.MaxFraction > 0 && frac > opts.MaxFraction {
 				frac = opts.MaxFraction
 			}
+		}
+		if opts.Dist.Replicated() {
+			plans[gi] = groupPlan{pixels: g.AllPixels(), fraction: frac}
+			continue
 		}
 		sel, err := sampling.Select(quant, g, frac, opts.Dist, rootRNG.Split(uint64(gi)+100))
 		if err != nil {
@@ -470,6 +563,14 @@ func PredictContext(ctx context.Context, opts Options) (*Result, error) {
 		vals combine.GroupValues
 	}
 	job := func(_ context.Context, gi int) (groupOut, error) {
+		if opts.Dist.Replicated() {
+			run, err := simulateGroupReplicated(wl, cfg, quant, &groups[gi],
+				plans[gi].pixels, plans[gi].fraction, &opts, gi)
+			if err != nil {
+				return groupOut{}, fmt.Errorf("group %d: %w", gi, err)
+			}
+			return groupOut{run: run, vals: run.Intervals.Means()}, nil
+		}
 		run, vals, err := simulateGroup(wl, cfg, plans[gi].pixels,
 			plans[gi].selected, plans[gi].fraction, opts.Regression)
 		if err != nil {
@@ -504,6 +605,7 @@ func PredictContext(ctx context.Context, opts Options) (*Result, error) {
 	total := len(groups)
 	runs := make([]GroupRun, total)
 	values := make([]combine.GroupValues, 0, total)
+	intervals := make([]combine.GroupIntervals, 0, total)
 	var failed []int
 	for gi := range results {
 		r := &results[gi]
@@ -524,6 +626,9 @@ func PredictContext(ctx context.Context, opts Options) (*Result, error) {
 		runs[gi].QueueTime = r.QueueTime
 		runs[gi].Attempts = r.Attempts
 		values = append(values, r.Value.vals)
+		if r.Value.run.Intervals != nil {
+			intervals = append(intervals, r.Value.run.Intervals)
+		}
 	}
 
 	// Degradation decision: a quorum of surviving groups carries the
@@ -548,16 +653,33 @@ func PredictContext(ctx context.Context, opts Options) (*Result, error) {
 		sp7.End()
 		return nil, err
 	}
+	var mergedIntervals combine.GroupIntervals
+	if opts.Dist.Replicated() {
+		mergedIntervals, err = combine.MergeIntervals(intervals, total, opts.Sampling.Confidence)
+		if err != nil {
+			sp7.SetAttr("error", err)
+			sp7.End()
+			return nil, err
+		}
+	}
 	if opts.SingleGroup && k > 1 {
 		// One group stands in for all K concurrent GPU slices: total
 		// throughput is K times the measured slice.
 		predicted[metrics.IPC] *= float64(k)
+		if mergedIntervals != nil {
+			iv := mergedIntervals[metrics.IPC]
+			iv.Mean *= float64(k)
+			iv.Low *= float64(k)
+			iv.High *= float64(k)
+			mergedIntervals[metrics.IPC] = iv
+		}
 	}
 	sp7.SetAttr("survivors", survivors)
 	sp7.End()
 
 	res := &Result{
 		Predicted:      predicted,
+		Intervals:      mergedIntervals,
 		Groups:         runs,
 		K:              k,
 		Quantized:      quant,
@@ -624,12 +746,21 @@ func quantizedSize(q *heatmap.Quantized) int64 {
 // produced it.
 func (o Options) CacheKey() store.Digest {
 	o.fillDefaults()
-	k := store.NewKey("predict/v1")
+	// The sampling knobs only influence replicated strategies; normalise
+	// them away otherwise so irrelevant settings don't split the cache.
+	if !o.Dist.Replicated() {
+		o.Sampling = SamplingOptions{}
+		o.TargetCIHalfWidth = 0
+	}
+	k := store.NewKey("predict/v2")
 	k.Str("scene", o.Scene).Int("w", o.Width).Int("h", o.Height).Int("spp", o.SPP)
 	o.Config.KeyTo(k)
 	k.Int("k", o.K).Bool("nodown", o.NoDownscale).Int("div", int(o.Division))
 	k.Int("cw", o.ChunkW).Int("ch", o.ChunkH).Int("bw", o.BlockW).Int("bh", o.BlockH)
 	k.Int("q", o.QuantLevels).Int("dist", int(o.Dist))
+	k.Int("reps", o.Sampling.Replicates).Float("conf", o.Sampling.Confidence)
+	k.Int("rounds", o.Sampling.MaxRounds).Float("growth", o.Sampling.Growth)
+	k.Float("targetci", o.TargetCIHalfWidth)
 	k.Float("frac", o.FixedFraction).Float("maxfrac", o.MaxFraction)
 	k.Bool("single", o.SingleGroup).Bool("regr", o.Regression)
 	k.Uint64("seed", o.Seed)
@@ -711,6 +842,75 @@ func simulateGroup(wl *rt.Workload, cfg config.Config, pixels []int32,
 		vals[m] = v
 	}
 	return run, vals, nil
+}
+
+// simulateGroupReplicated runs one group under a replicated strategy: each
+// round draws Sampling.Replicates disjoint sub-selections, simulates every
+// replicate independently, extrapolates each by its own realized fraction,
+// and builds the Student-t interval from the replicate spread. With a CI
+// target set, rounds repeat with a Growth-times-larger fraction until every
+// metric's relative half-width meets the target, the fraction hits its cap,
+// or MaxRounds is exhausted. All draws derive from (seed, group index,
+// round), so retries and re-runs are byte-identical.
+func simulateGroupReplicated(wl *rt.Workload, cfg config.Config, quant *heatmap.Quantized,
+	g *partition.Group, pixels []int32, frac0 float64, opts *Options, gi int) (GroupRun, error) {
+
+	run := GroupRun{Pixels: len(pixels)}
+	start := time.Now()
+	sp := opts.Sampling
+	maxFrac := 1.0
+	if opts.MaxFraction > 0 {
+		maxFrac = opts.MaxFraction
+	}
+	frac := frac0
+	if frac > maxFrac {
+		frac = maxFrac
+	}
+	groupRNG := vecmath.NewRNG(opts.Seed).Split(uint64(gi) + 100)
+	for round := 1; ; round++ {
+		sels, err := sampling.SelectReplicates(quant, g, frac, opts.Dist,
+			sp.Replicates, groupRNG.Split(uint64(round)))
+		if err != nil {
+			return run, err
+		}
+		reps := make([]metrics.Report, len(sels))
+		fracs := make([]float64, len(sels))
+		selected := 0
+		for i, sel := range sels {
+			keep := make(map[int32]bool, len(sel.Pixels))
+			for _, p := range sel.Pixels {
+				keep[p] = true
+			}
+			rep, err := gpu.Run(gpu.Job{Cfg: cfg, Source: groupSource{wl: wl, pixels: pixels, selected: keep}})
+			if err != nil {
+				return run, err
+			}
+			reps[i] = rep
+			fracs[i] = sel.Fraction
+			selected += len(sel.Pixels)
+		}
+		ivs, err := combine.LinearReplicates(reps, fracs, sp.Confidence)
+		if err != nil {
+			return run, err
+		}
+		run.Report = reps[len(reps)-1]
+		run.Fraction = float64(selected) / float64(len(pixels))
+		run.Selected = selected
+		run.Intervals = ivs
+		run.Replicates = len(sels)
+		run.Rounds = round
+		run.TargetMet = opts.TargetCIHalfWidth == 0 ||
+			ivs.MaxRelHalfWidth() <= opts.TargetCIHalfWidth
+		if run.TargetMet || round >= sp.MaxRounds || frac >= maxFrac {
+			break
+		}
+		frac *= sp.Growth
+		if frac > maxFrac {
+			frac = maxFrac
+		}
+	}
+	run.WallTime = time.Since(start)
+	return run, nil
 }
 
 // groupSource presents a group's thread list to the simulator without

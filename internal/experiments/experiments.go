@@ -15,6 +15,7 @@ import (
 	"zatel/internal/core"
 	"zatel/internal/metrics"
 	"zatel/internal/runner"
+	"zatel/internal/sampling"
 	"zatel/internal/scene"
 )
 
@@ -41,6 +42,15 @@ type Settings struct {
 	// started complete with the context error and render as ERR cells, so
 	// an interrupted sweep still prints the rows it finished.
 	Ctx context.Context
+	// Dist selects the pixel-selection strategy for every grid point
+	// (drivers that sweep distributions themselves, like Table 3, override
+	// it per point). A replicated strategy (stratified, rankedset) makes
+	// sweep tables carry ±half-width error bars.
+	Dist sampling.Distribution
+	// Sampling and TargetCI configure the replicated strategies' replicate
+	// count, confidence level and adaptive stopping (see core.Options).
+	Sampling core.SamplingOptions
+	TargetCI float64
 }
 
 // Default returns the evaluation default (256×256, 1 spp).
@@ -59,12 +69,15 @@ func (s Settings) validate() error {
 // baseOptions assembles the shared core options for a scene/config pair.
 func (s Settings) baseOptions(cfg config.Config, sceneName string) core.Options {
 	return core.Options{
-		Config: cfg,
-		Scene:  sceneName,
-		Width:  s.Width,
-		Height: s.Height,
-		SPP:    s.SPP,
-		FT:     s.FT,
+		Config:            cfg,
+		Scene:             sceneName,
+		Width:             s.Width,
+		Height:            s.Height,
+		SPP:               s.SPP,
+		FT:                s.FT,
+		Dist:              s.Dist,
+		Sampling:          s.Sampling,
+		TargetCIHalfWidth: s.TargetCI,
 	}
 }
 

@@ -20,6 +20,10 @@ type SweepPoint struct {
 	Percent int
 	// Errors holds the per-metric absolute error against the reference.
 	Errors map[metrics.Metric]float64
+	// CIHalf holds the per-metric relative confidence half-width
+	// (half-width / |mean|) when the sweep ran a replicated strategy; nil
+	// otherwise. Tables render it as a ± error bar next to the cell value.
+	CIHalf map[metrics.Metric]float64
 	// SimWall is Zatel's preprocessing+simulation wall time; RefWall the
 	// full simulation's.
 	SimWall time.Duration
@@ -113,6 +117,16 @@ func PercentSweep(s Settings, cfg config.Config, scenes []string) (*SweepResult,
 			RefWall: ref.WallTime,
 			Speedup: res.Speedup(ref),
 		}
+		if res.Intervals != nil {
+			pt.CIHalf = make(map[metrics.Metric]float64, len(res.Intervals))
+			for m, iv := range res.Intervals {
+				hw := iv.HalfWidth()
+				if mean := math.Abs(iv.Mean); mean > 0 {
+					hw /= mean
+				}
+				pt.CIHalf[m] = hw
+			}
+		}
 		if res.Degraded != nil {
 			pt.DegradedGroups = len(res.Degraded.FailedGroups)
 		}
@@ -149,12 +163,24 @@ func PercentSweep(s Settings, cfg config.Config, scenes []string) (*SweepResult,
 }
 
 // RenderFig13 prints the simulation-cycles error per scene against the
-// percentage of pixels traced.
+// percentage of pixels traced; with a replicated strategy each cell carries
+// its ± relative CI half-width.
 func (r *SweepResult) RenderFig13(w io.Writer) {
 	fmt.Fprintf(w, "Fig. 13 — simulation cycles error per scene (%s, %dx%d)\n",
 		r.Config, r.Settings.Width, r.Settings.Height)
-	r.renderPerScene(w, func(pt SweepPoint) string { return pct(pt.Errors[metrics.SimCycles]) })
+	r.renderPerScene(w, func(pt SweepPoint) string {
+		return pctCI(pt.Errors[metrics.SimCycles], pt.CIHalf, metrics.SimCycles)
+	})
 	fmt.Fprintln(w, "(paper: errors converge exponentially to 0; SPRNG is the >100% outlier at 10%)")
+}
+
+// pctCI renders value as a percentage, appending the metric's ± relative CI
+// half-width error bar when the point carries one.
+func pctCI(value float64, ciHalf map[metrics.Metric]float64, m metrics.Metric) string {
+	if hw, ok := ciHalf[m]; ok {
+		return fmt.Sprintf("%.1f±%.1f%%", 100*value, 100*hw)
+	}
+	return pct(value)
 }
 
 // RenderFig14 prints Zatel's running time per scene.
@@ -179,8 +205,10 @@ func (r *SweepResult) RenderFig15(w io.Writer) {
 		fmt.Fprintf(w, "power fit: speedup(perc) = %.1f * perc^%.2f   (paper Eq. 4: 181 * perc^-1.15)\n",
 			r.FitA, r.FitB)
 	}
-	fmt.Fprintf(w, "Eq. 4 reference at 10/50/90%%: %.1fx / %.1fx / %.1fx\n",
-		extrapolate.SpeedupModel(10), extrapolate.SpeedupModel(50), extrapolate.SpeedupModel(90))
+	ref10, _ := extrapolate.SpeedupModel(10)
+	ref50, _ := extrapolate.SpeedupModel(50)
+	ref90, _ := extrapolate.SpeedupModel(90)
+	fmt.Fprintf(w, "Eq. 4 reference at 10/50/90%%: %.1fx / %.1fx / %.1fx\n", ref10, ref50, ref90)
 }
 
 // RenderFig16 prints the per-metric mean/min/max absolute error over all
@@ -199,23 +227,34 @@ func (r *SweepResult) RenderFig16(w io.Writer) {
 		for _, m := range metrics.All() {
 			lo, hi, sum := math.Inf(1), math.Inf(-1), 0.0
 			n := 0
+			hwSum, hwN := 0.0, 0
 			for _, sc := range r.Scenes {
-				if r.Points[sc][pi].Err != nil {
+				pt := r.Points[sc][pi]
+				if pt.Err != nil {
 					continue
 				}
-				e := r.Points[sc][pi].Errors[m]
+				e := pt.Errors[m]
 				if math.IsInf(e, 0) {
 					continue
 				}
 				lo, hi = math.Min(lo, e), math.Max(hi, e)
 				sum += e
 				n++
+				if hw, ok := pt.CIHalf[m]; ok {
+					hwSum += hw
+					hwN++
+				}
 			}
 			if n == 0 {
 				fmt.Fprintf(w, "%26s", "-")
 				continue
 			}
-			fmt.Fprintf(w, "%9s [%5.1f..%6.1f]", pct(sum/float64(n)), 100*lo, 100*hi)
+			cell := pct(sum / float64(n))
+			if hwN > 0 {
+				// Mean ± mean relative CI half-width over the scenes.
+				cell = fmt.Sprintf("%.1f±%.1f%%", 100*sum/float64(n), 100*hwSum/float64(hwN))
+			}
+			fmt.Fprintf(w, "%9s [%5.1f..%6.1f]", cell, 100*lo, 100*hi)
 		}
 		fmt.Fprintln(w)
 	}

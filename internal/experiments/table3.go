@@ -116,6 +116,11 @@ func Table3(s Settings, cfg config.Config, reps int) (*Table3Result, error) {
 			opts.Division = core.CoarseGrained
 			opts.BlockW, opts.BlockH = 32, section
 			opts.Dist = dist
+			// Table 3 sweeps its own distributions; drop any replicated-only
+			// CI knobs inherited from Settings so validation passes for the
+			// point-estimate strategies it compares.
+			opts.Sampling = core.SamplingOptions{}
+			opts.TargetCIHalfWidth = 0
 			opts.FixedFraction = 0.03
 			opts.Seed = uint64(rep)*977 + 13
 			// One stratum per (cell, rep): each repetition is its own

@@ -17,8 +17,10 @@ func ExampleLinear() {
 
 // Eq. 4 predicts the simulation-time speedup from the traced percentage.
 func ExampleSpeedupModel() {
-	fmt.Printf("10%%: %.1fx\n", extrapolate.SpeedupModel(10))
-	fmt.Printf("50%%: %.1fx\n", extrapolate.SpeedupModel(50))
+	at10, _ := extrapolate.SpeedupModel(10)
+	at50, _ := extrapolate.SpeedupModel(50)
+	fmt.Printf("10%%: %.1fx\n", at10)
+	fmt.Printf("50%%: %.1fx\n", at50)
 	// Output:
 	// 10%: 12.8x
 	// 50%: 2.0x

@@ -64,9 +64,15 @@ func ExpRegression(p, y [3]float64) (float64, error) {
 
 // SpeedupModel is Eq. 4: the empirical fit predicting Zatel's simulation
 // time speedup from the percentage of pixels traced,
-// speedup(perc) = 181·perc^−1.15 for perc ≥ 10 (perc in percent, 10–100).
-func SpeedupModel(percent float64) float64 {
-	return 181 * math.Pow(percent, -1.15)
+// speedup(perc) = 181·perc^−1.15 (perc in percent). The fit was produced
+// from measurements at 10–100%; arguments outside that domain — notably a
+// 0–1 *fraction* passed where a percentage is expected — return an error
+// rather than a wildly extrapolated value.
+func SpeedupModel(percent float64) (float64, error) {
+	if percent < 10 || percent > 100 {
+		return 0, fmt.Errorf("extrapolate: speedup model domain is perc ∈ [10,100], got %v", percent)
+	}
+	return 181 * math.Pow(percent, -1.15), nil
 }
 
 // PowerFit fits y = a·x^b by least squares in log-log space — the

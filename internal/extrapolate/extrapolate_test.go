@@ -91,17 +91,39 @@ func TestExpRegressionRejectsBadInputs(t *testing.T) {
 
 func TestSpeedupModelMatchesEq4(t *testing.T) {
 	// Eq. 4 endpoints: ≈12.8× at 10%, ≈1× at ~91%.
-	at10 := SpeedupModel(10)
+	at10, err := SpeedupModel(10)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if at10 < 12 || at10 > 13.5 {
 		t.Errorf("speedup(10%%) = %v, want ≈12.8", at10)
 	}
-	at100 := SpeedupModel(100)
+	at100, err := SpeedupModel(100)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if at100 < 0.8 || at100 > 1.1 {
 		t.Errorf("speedup(100%%) = %v, want ≈0.9", at100)
 	}
 	// Strictly decreasing.
-	if SpeedupModel(20) >= SpeedupModel(10) {
+	at20, _ := SpeedupModel(20)
+	if at20 >= at10 {
 		t.Error("speedup not decreasing")
+	}
+}
+
+func TestSpeedupModelDomain(t *testing.T) {
+	// The classic misuse: passing a 0–1 fraction where a percentage is
+	// expected must be rejected, as must anything past 100%.
+	for _, p := range []float64{0, 0.3, 9.99, 100.01, -5} {
+		if _, err := SpeedupModel(p); err == nil {
+			t.Errorf("SpeedupModel(%v) accepted out-of-domain input", p)
+		}
+	}
+	for _, p := range []float64{10, 55, 100} {
+		if _, err := SpeedupModel(p); err != nil {
+			t.Errorf("SpeedupModel(%v) rejected in-domain input: %v", p, err)
+		}
 	}
 }
 
@@ -109,7 +131,7 @@ func TestPowerFitRecoversEq4(t *testing.T) {
 	xs := []float64{10, 20, 30, 50, 70, 90}
 	ys := make([]float64, len(xs))
 	for i, x := range xs {
-		ys[i] = SpeedupModel(x)
+		ys[i], _ = SpeedupModel(x)
 	}
 	a, b, err := PowerFit(xs, ys)
 	if err != nil {

@@ -1,0 +1,110 @@
+package extrapolate
+
+import (
+	"math"
+	"testing"
+)
+
+func TestReplicateIntervalKnownValues(t *testing.T) {
+	// Five replicates {10,11,12,13,14}: mean 12, sd sqrt(2.5), df 4,
+	// t(4, 0.95) = 2.776 → half-width 2.776·sqrt(2.5)/sqrt(5).
+	iv, err := ReplicateInterval([]float64{10, 11, 12, 13, 14}, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iv.Mean != 12 || iv.Replicates != 5 {
+		t.Fatalf("mean %v replicates %d, want 12 and 5", iv.Mean, iv.Replicates)
+	}
+	want := 2.776 * math.Sqrt(2.5) / math.Sqrt(5)
+	if math.Abs(iv.HalfWidth()-want) > 1e-9 {
+		t.Errorf("half-width %v, want %v", iv.HalfWidth(), want)
+	}
+	if math.Abs((iv.Low+iv.High)/2-iv.Mean) > 1e-12 {
+		t.Error("interval not centred on the mean")
+	}
+}
+
+func TestReplicateIntervalDegenerate(t *testing.T) {
+	// One replicate: no spread information, degenerate zero-width interval.
+	iv, err := ReplicateInterval([]float64{7}, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iv.Low != 7 || iv.High != 7 || iv.HalfWidth() != 0 {
+		t.Errorf("single replicate interval %+v, want degenerate at 7", iv)
+	}
+	// Perfectly agreeing replicates collapse too.
+	iv, err = ReplicateInterval([]float64{3, 3, 3}, 0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iv.HalfWidth() != 0 {
+		t.Errorf("agreeing replicates half-width %v, want 0", iv.HalfWidth())
+	}
+}
+
+func TestReplicateIntervalValidation(t *testing.T) {
+	if _, err := ReplicateInterval(nil, 0.95); err == nil {
+		t.Error("empty estimates accepted")
+	}
+	if _, err := ReplicateInterval([]float64{1, 2}, 0.80); err == nil {
+		t.Error("untabulated confidence accepted")
+	}
+}
+
+func TestLinearReplicatesExtrapolatesPerFraction(t *testing.T) {
+	// Each replicate measured value/fraction pairs extrapolating to exactly
+	// 100 → zero-width interval at 100.
+	iv, err := LinearReplicates([]float64{10, 20, 50}, []float64{0.1, 0.2, 0.5}, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(iv.Mean-100) > 1e-9 || iv.HalfWidth() > 1e-9 {
+		t.Errorf("interval %+v, want degenerate at 100", iv)
+	}
+	if _, err := LinearReplicates([]float64{1}, []float64{0.5, 0.6}, 0.95); err == nil {
+		t.Error("mismatched lengths accepted")
+	}
+	if _, err := LinearReplicates([]float64{1}, []float64{0}, 0.95); err == nil {
+		t.Error("zero fraction accepted")
+	}
+}
+
+func TestTCriticalWidensWithConfidence(t *testing.T) {
+	for _, df := range []int{1, 4, 29, 30, 200} {
+		t90, err := tCritical(df, 0.90)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t95, _ := tCritical(df, 0.95)
+		t99, _ := tCritical(df, 0.99)
+		if !(t90 < t95 && t95 < t99) {
+			t.Errorf("df %d: critical values %v/%v/%v not increasing in confidence", df, t90, t95, t99)
+		}
+	}
+	// Past the table, the normal quantile takes over.
+	if tv, _ := tCritical(31, 0.95); tv != 1.960 {
+		t.Errorf("df 31 critical %v, want normal 1.960", tv)
+	}
+	if _, err := tCritical(0, 0.95); err == nil {
+		t.Error("df 0 accepted")
+	}
+}
+
+// TestIntervalShrinksWithMoreReplicates checks the CI shrinkage property at
+// the estimator level: the same per-replicate spread over more replicates
+// yields a narrower interval (both t and 1/√R shrink).
+func TestIntervalShrinksWithMoreReplicates(t *testing.T) {
+	few, err := ReplicateInterval([]float64{9, 11, 10}, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	many, err := ReplicateInterval([]float64{9, 11, 10, 9, 11, 10, 9, 11, 10}, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if many.HalfWidth() >= few.HalfWidth() {
+		t.Errorf("9 replicates half-width %v not below 3 replicates %v",
+			many.HalfWidth(), few.HalfWidth())
+	}
+}

@@ -3,14 +3,24 @@
 //
 // The subset size follows Eq. 1 — the group's mean heatmap coldness,
 // clamped to [0.3, 0.6] — and the subset itself is assembled from section
-// blocks according to one of three colour distributions (Section III-E):
-// uniform (match the group's colour histogram), lintmp (Eq. 2, share
-// proportional to warmth) and exptmp (Eq. 3, warmth raised to the fifth
-// power).
+// blocks according to one of five strategies: the three Section III-E
+// colour distributions — uniform (match the group's colour histogram),
+// lintmp (Eq. 2, share proportional to warmth) and exptmp (Eq. 3, warmth
+// raised to the fifth power) — plus two statistically rigorous strategies
+// after the Ekman (NVIDIA) sampled-simulation papers: two-phase stratified
+// sampling (strata = quantized heatmap levels, phase-2 allocation by
+// phase-1 within-stratum variance) and ranked-set sampling (each draw
+// ranks a small candidate set by temperature and keeps the block whose
+// rank cycles through the set). The rigorous strategies additionally
+// support repeated subsampling via SelectReplicates, whose disjoint
+// replicate draws feed the confidence-interval machinery in
+// internal/extrapolate and internal/combine.
 package sampling
 
 import (
 	"fmt"
+	"math"
+	"sort"
 
 	"zatel/internal/heatmap"
 	"zatel/internal/partition"
@@ -28,11 +38,28 @@ const (
 	// ExpTmp amplifies warm colours by raising warmth to the fifth power
 	// (Eq. 3).
 	ExpTmp
+	// Stratified is two-phase stratified sampling: strata are the quantized
+	// heatmap levels; a phase-1 pilot (a quarter of the budget, allocated
+	// proportionally) estimates the within-stratum variance of block mean
+	// temperature, and phase 2 spends the remaining budget by Neyman
+	// allocation (n_h ∝ N_h·s_h), concentrating samples where the stratum
+	// is internally heterogeneous.
+	Stratified
+	// RankedSet is ranked-set sampling: every draw ranks a random set of
+	// three candidate blocks by mean temperature and keeps the one whose
+	// rank cycles 0,1,2,…, spreading the sample evenly across the
+	// temperature ordering without tracing the discarded candidates.
+	RankedSet
 )
 
-// Valid reports whether d names one of the three Section III-E
-// distributions; option validation uses it before any expensive work runs.
-func (d Distribution) Valid() bool { return d <= ExpTmp }
+// Valid reports whether d names one of the five selection strategies;
+// option validation uses it before any expensive work runs.
+func (d Distribution) Valid() bool { return d <= RankedSet }
+
+// Replicated reports whether the strategy supports repeated subsampling —
+// disjoint replicate sub-draws whose per-replicate extrapolations yield a
+// confidence interval (SelectReplicates).
+func (d Distribution) Replicated() bool { return d == Stratified || d == RankedSet }
 
 // String implements fmt.Stringer.
 func (d Distribution) String() string {
@@ -43,8 +70,31 @@ func (d Distribution) String() string {
 		return "lintmp"
 	case ExpTmp:
 		return "exptmp"
+	case Stratified:
+		return "stratified"
+	case RankedSet:
+		return "rankedset"
 	default:
 		return fmt.Sprintf("Distribution(%d)", uint8(d))
+	}
+}
+
+// ParseDistribution resolves the strategy names accepted across the CLIs
+// and the HTTP API.
+func ParseDistribution(name string) (Distribution, error) {
+	switch name {
+	case "", "uniform":
+		return Uniform, nil
+	case "lintmp":
+		return LinTmp, nil
+	case "exptmp":
+		return ExpTmp, nil
+	case "stratified":
+		return Stratified, nil
+	case "rankedset", "ranked-set":
+		return RankedSet, nil
+	default:
+		return 0, fmt.Errorf("unknown distribution %q (want uniform, lintmp, exptmp, stratified or rankedset)", name)
 	}
 }
 
@@ -93,14 +143,17 @@ type Selection struct {
 	Fraction float64
 }
 
-// Select assembles a subset of roughly frac·|group| pixels from whole
-// section blocks. Blocks are classified by their dominant quantized colour;
-// each colour receives a pixel quota from the distribution; blocks are
-// drawn randomly within each colour; any shortfall is filled with random
-// unused blocks (Section III-E).
+// Select assembles a subset of round(frac·|group|) pixels from section
+// blocks. Blocks are classified by their dominant quantized colour; each
+// strategy apportions a pixel quota over blocks; the final block is trimmed
+// (deterministically, via rng) so the realized fraction never exceeds the
+// request by more than half a pixel: Selection.Fraction ≤ frac + 1/(2m).
 func Select(q *heatmap.Quantized, g *partition.Group, frac float64, dist Distribution, rng *vecmath.RNG) (Selection, error) {
 	if frac <= 0 || frac > 1 {
 		return Selection{}, fmt.Errorf("sampling: fraction %v out of (0,1]", frac)
+	}
+	if !dist.Valid() {
+		return Selection{}, fmt.Errorf("sampling: unknown distribution %d", dist)
 	}
 	m := g.NumPixels()
 	if m == 0 {
@@ -113,21 +166,102 @@ func Select(q *heatmap.Quantized, g *partition.Group, frac float64, dist Distrib
 	if target >= m {
 		return Selection{Pixels: g.AllPixels(), Fraction: 1}, nil
 	}
+	s := newSelector(q, g)
+	pixels := s.draw(target, dist, rng)
+	return Selection{
+		Pixels:   pixels,
+		Fraction: float64(len(pixels)) / float64(m),
+	}, nil
+}
 
+// SelectReplicates draws r disjoint subsamples that together cover
+// round(frac·|group|) pixels, each replicate assembled independently by the
+// strategy from the blocks the earlier replicates left untouched — the
+// repeated-subsampling scheme: every replicate is its own estimator, and
+// the spread of the per-replicate extrapolations yields the confidence
+// interval. Replicates are deterministic in (rng state, group, frac, r).
+func SelectReplicates(q *heatmap.Quantized, g *partition.Group, frac float64, dist Distribution, r int, rng *vecmath.RNG) ([]Selection, error) {
+	if frac <= 0 || frac > 1 {
+		return nil, fmt.Errorf("sampling: fraction %v out of (0,1]", frac)
+	}
+	if !dist.Valid() {
+		return nil, fmt.Errorf("sampling: unknown distribution %d", dist)
+	}
+	if r < 1 {
+		return nil, fmt.Errorf("sampling: replicate count %d < 1", r)
+	}
+	m := g.NumPixels()
+	if m == 0 {
+		return nil, fmt.Errorf("sampling: empty group")
+	}
+	total := int(frac*float64(m) + 0.5)
+	if total < r {
+		total = r // at least one pixel per replicate
+	}
+	if total > m {
+		total = m
+	}
+	s := newSelector(q, g)
+	out := make([]Selection, r)
+	base, extra := total/r, total%r
+	for i := range out {
+		t := base
+		if i < extra {
+			t++
+		}
+		pixels := s.draw(t, dist, rng.Split(uint64(i)+1))
+		out[i] = Selection{
+			Pixels:   pixels,
+			Fraction: float64(len(pixels)) / float64(m),
+		}
+	}
+	return out, nil
+}
+
+// selector carries the per-group classification shared by every draw: the
+// dominant level and mean temperature of each block, the group's level
+// histogram, and the blocks already consumed by earlier draws (replicates
+// are disjoint).
+type selector struct {
+	q *heatmap.Quantized
+	g *partition.Group
+	m int
+	// blockLevel is each block's dominant quantized level; blockTemp its
+	// mean quantized temperature (the ranking auxiliary).
+	blockLevel []int
+	blockTemp  []float64
+	// levelPixels is the group's pixel count per level.
+	levelPixels []int
+	// rem holds each block's not-yet-consumed pixels. Consumption is
+	// pixel-granular: a trimmed take leaves the block's remainder available
+	// to later draws, so disjoint replicates can together cover the whole
+	// group without starving the last ones.
+	rem [][]int32
+}
+
+func newSelector(q *heatmap.Quantized, g *partition.Group) *selector {
 	nLevels := len(q.Levels)
-	// Classify blocks by dominant level and build the group's level
-	// histogram.
-	blockLevel := make([]int, len(g.Blocks))
-	levelPixels := make([]int, nLevels)
+	s := &selector{
+		q: q, g: g, m: g.NumPixels(),
+		blockLevel:  make([]int, len(g.Blocks)),
+		blockTemp:   make([]float64, len(g.Blocks)),
+		levelPixels: make([]int, nLevels),
+		rem:         make([][]int32, len(g.Blocks)),
+	}
+	for bi, b := range g.Blocks {
+		s.rem[bi] = b.Pixels // copied on first partial take
+	}
 	counts := make([]int, nLevels)
 	for bi, b := range g.Blocks {
 		for i := range counts {
 			counts[i] = 0
 		}
+		sum := 0.0
 		for _, p := range b.Pixels {
 			lv := q.Index[p]
 			counts[lv]++
-			levelPixels[lv]++
+			s.levelPixels[lv]++
+			sum += q.TempOf(int(p))
 		}
 		best := 0
 		for lv := 1; lv < nLevels; lv++ {
@@ -135,23 +269,31 @@ func Select(q *heatmap.Quantized, g *partition.Group, frac float64, dist Distrib
 				best = lv
 			}
 		}
-		blockLevel[bi] = best
+		s.blockLevel[bi] = best
+		if len(b.Pixels) > 0 {
+			s.blockTemp[bi] = sum / float64(len(b.Pixels))
+		}
 	}
+	return s
+}
 
-	// Per-level pixel quotas.
+// shares computes the per-level pixel quota shares for the three colour
+// distributions (Section III-E).
+func (s *selector) shares(dist Distribution) []float64 {
+	nLevels := len(s.q.Levels)
 	share := make([]float64, nLevels)
 	switch dist {
 	case Uniform:
 		for lv := range share {
-			share[lv] = float64(levelPixels[lv]) / float64(m)
+			share[lv] = float64(s.levelPixels[lv]) / float64(s.m)
 		}
 	case LinTmp, ExpTmp:
 		var c float64
 		for lv := range share {
-			if levelPixels[lv] == 0 {
+			if s.levelPixels[lv] == 0 {
 				continue // colour absent from this group
 			}
-			w := q.Warmth(lv)
+			w := s.q.Warmth(lv)
 			if dist == ExpTmp {
 				w = w * w * w * w * w
 			}
@@ -161,67 +303,255 @@ func Select(q *heatmap.Quantized, g *partition.Group, frac float64, dist Distrib
 		if c == 0 {
 			// Entirely cold group: fall back to uniform shares.
 			for lv := range share {
-				share[lv] = float64(levelPixels[lv]) / float64(m)
+				share[lv] = float64(s.levelPixels[lv]) / float64(s.m)
 			}
 		} else {
 			for lv := range share {
 				share[lv] /= c
 			}
 		}
-	default:
-		return Selection{}, fmt.Errorf("sampling: unknown distribution %d", dist)
 	}
+	return share
+}
 
-	// Group block indices by level and shuffle within each level.
-	byLevel := make([][]int, nLevels)
-	for bi := range g.Blocks {
-		lv := blockLevel[bi]
+// availByLevel groups the block indices with pixels left by level and
+// shuffles within each level.
+func (s *selector) availByLevel(rng *vecmath.RNG) [][]int {
+	byLevel := make([][]int, len(s.q.Levels))
+	for bi := range s.g.Blocks {
+		if len(s.rem[bi]) == 0 {
+			continue
+		}
+		lv := s.blockLevel[bi]
 		byLevel[lv] = append(byLevel[lv], bi)
 	}
 	for _, blocks := range byLevel {
 		rng.Shuffle(len(blocks), func(i, j int) { blocks[i], blocks[j] = blocks[j], blocks[i] })
 	}
+	return byLevel
+}
 
-	taken := make([]bool, len(g.Blocks))
+// draw assembles target pixels from the blocks with pixels left using the
+// strategy. The last take is trimmed to land exactly on target, so a draw
+// never overshoots; it can undershoot only when the whole group has been
+// consumed by earlier draws.
+func (s *selector) draw(target int, dist Distribution, rng *vecmath.RNG) []int32 {
 	var selected []int32
-	take := func(bi int) {
-		taken[bi] = true
-		selected = append(selected, g.Blocks[bi].Pixels...)
+	// take consumes block bi's remaining pixels, up to the draw target;
+	// when trimming, a seeded shuffle picks the kept subset
+	// deterministically and the block's remainder stays available to later
+	// draws. Returns the number of pixels taken.
+	take := func(bi int) int {
+		px := s.rem[bi]
+		if want := target - len(selected); len(px) > want {
+			tmp := append([]int32(nil), px...)
+			rng.Shuffle(len(tmp), func(i, j int) { tmp[i], tmp[j] = tmp[j], tmp[i] })
+			px = tmp[:want]
+			s.rem[bi] = tmp[want:]
+		} else {
+			s.rem[bi] = nil
+		}
+		selected = append(selected, px...)
+		return len(px)
 	}
 
-	// Draw hot levels first so warm quotas are honoured before the pool
-	// shrinks.
-	for lv := nLevels - 1; lv >= 0; lv-- {
-		quota := int(share[lv]*float64(target) + 0.5)
+	switch dist {
+	case Uniform, LinTmp, ExpTmp:
+		share := s.shares(dist)
+		byLevel := s.availByLevel(rng)
+		// Draw hot levels first so warm quotas are honoured before the
+		// pool shrinks.
+		for lv := len(byLevel) - 1; lv >= 0; lv-- {
+			quota := int(share[lv]*float64(target) + 0.5)
+			got := 0
+			for _, bi := range byLevel[lv] {
+				if got >= quota || len(selected) >= target {
+					break
+				}
+				got += take(bi)
+			}
+		}
+		// Shortfall: fill from the unused blocks. The warm-biased
+		// distributions order the pool warm-first (stable under the seeded
+		// shuffle) so the shortfall does not dilute the quota they just
+		// computed; uniform keeps the pool random to preserve its
+		// histogram match.
+		s.fillShortfall(target, &selected, take, dist == LinTmp || dist == ExpTmp, rng)
+
+	case Stratified:
+		s.drawStratified(target, &selected, take, rng)
+
+	case RankedSet:
+		s.drawRankedSet(target, &selected, take, rng)
+	}
+	return selected
+}
+
+// fillShortfall tops the draw up to target from the blocks with pixels left.
+func (s *selector) fillShortfall(target int, selected *[]int32, take func(int) int, warmFirst bool, rng *vecmath.RNG) {
+	if len(*selected) >= target {
+		return
+	}
+	rest := make([]int, 0, len(s.g.Blocks))
+	for bi := range s.g.Blocks {
+		if len(s.rem[bi]) > 0 {
+			rest = append(rest, bi)
+		}
+	}
+	rng.Shuffle(len(rest), func(i, j int) { rest[i], rest[j] = rest[j], rest[i] })
+	if warmFirst {
+		sort.SliceStable(rest, func(i, j int) bool {
+			return s.blockTemp[rest[i]] > s.blockTemp[rest[j]]
+		})
+	}
+	for _, bi := range rest {
+		if len(*selected) >= target {
+			break
+		}
+		take(bi)
+	}
+}
+
+// drawStratified implements the two-phase scheme: a proportional pilot
+// measures each stratum's internal spread, then the remaining budget
+// follows Neyman allocation.
+func (s *selector) drawStratified(target int, selected *[]int32, take func(int) int, rng *vecmath.RNG) {
+	byLevel := s.availByLevel(rng)
+	cursor := make([]int, len(byLevel)) // per-level position in the shuffled list
+
+	// takeFromLevel consumes up to quota pixels from the level's shuffled
+	// list, returning the block temperatures it observed (for the
+	// phase-1 variance estimate).
+	takeFromLevel := func(lv, quota int) []float64 {
+		var temps []float64
 		got := 0
-		for _, bi := range byLevel[lv] {
-			if got >= quota || len(selected) >= target {
+		for cursor[lv] < len(byLevel[lv]) {
+			if got >= quota || len(*selected) >= target {
 				break
 			}
-			take(bi)
-			got += len(g.Blocks[bi].Pixels)
+			bi := byLevel[lv][cursor[lv]]
+			cursor[lv]++
+			got += take(bi)
+			temps = append(temps, s.blockTemp[bi])
 		}
+		return temps
 	}
 
-	// Shortfall: random unused blocks until the target is met.
-	if len(selected) < target {
-		rest := make([]int, 0, len(g.Blocks))
-		for bi := range g.Blocks {
-			if !taken[bi] {
-				rest = append(rest, bi)
-			}
+	// Phase 1: a quarter of the budget, allocated proportionally to
+	// stratum size, measures the within-stratum spread.
+	pilot := target / 4
+	if pilot < 1 {
+		pilot = 1
+	}
+	variance := make([]float64, len(byLevel))
+	for lv := range byLevel {
+		if s.levelPixels[lv] == 0 {
+			continue
 		}
-		rng.Shuffle(len(rest), func(i, j int) { rest[i], rest[j] = rest[j], rest[i] })
-		for _, bi := range rest {
-			if len(selected) >= target {
-				break
-			}
-			take(bi)
+		quota := int(float64(s.levelPixels[lv]) / float64(s.m) * float64(pilot))
+		if quota < 1 {
+			quota = 1 // every non-empty stratum contributes a pilot block
 		}
+		temps := takeFromLevel(lv, quota)
+		variance[lv] = sampleVariance(temps)
 	}
 
-	return Selection{
-		Pixels:   selected,
-		Fraction: float64(len(selected)) / float64(m),
-	}, nil
+	// Phase 2: Neyman allocation n_h ∝ N_h·s_h over the remaining budget;
+	// when every stratum looks internally flat, fall back to proportional.
+	remaining := target - len(*selected)
+	if remaining > 0 {
+		weight := make([]float64, len(byLevel))
+		var wsum float64
+		for lv := range weight {
+			weight[lv] = float64(s.levelPixels[lv]) * math.Sqrt(variance[lv])
+			wsum += weight[lv]
+		}
+		if wsum == 0 {
+			for lv := range weight {
+				weight[lv] = float64(s.levelPixels[lv])
+				wsum += weight[lv]
+			}
+		}
+		for lv := range byLevel {
+			if weight[lv] == 0 {
+				continue
+			}
+			quota := int(weight[lv]/wsum*float64(remaining) + 0.5)
+			takeFromLevel(lv, quota)
+		}
+	}
+	// Rounding shortfall: proportional fill, no warm bias — stratified
+	// already decided its allocation.
+	s.fillShortfall(target, selected, take, false, rng)
+}
+
+// drawRankedSet implements ranked-set sampling over blocks: each step draws
+// a set of three random available candidates, ranks them by mean
+// temperature (ties broken by block index so ranking is deterministic), and
+// keeps the one whose rank cycles through the set.
+func (s *selector) drawRankedSet(target int, selected *[]int32, take func(int) int, rng *vecmath.RNG) {
+	avail := make([]int, 0, len(s.g.Blocks))
+	for bi := range s.g.Blocks {
+		if len(s.rem[bi]) > 0 {
+			avail = append(avail, bi)
+		}
+	}
+	rng.Shuffle(len(avail), func(i, j int) { avail[i], avail[j] = avail[j], avail[i] })
+
+	const setSize = 3
+	step := 0
+	for len(*selected) < target && len(avail) > 0 {
+		k := setSize
+		if len(avail) < k {
+			k = len(avail)
+		}
+		// Draw k distinct candidate positions.
+		cand := make([]int, 0, k)
+		for len(cand) < k {
+			p := rng.Intn(len(avail))
+			dup := false
+			for _, c := range cand {
+				if c == p {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				cand = append(cand, p)
+			}
+		}
+		// Rank candidates cold→hot.
+		sort.Slice(cand, func(i, j int) bool {
+			ti, tj := s.blockTemp[avail[cand[i]]], s.blockTemp[avail[cand[j]]]
+			if ti != tj {
+				return ti < tj
+			}
+			return avail[cand[i]] < avail[cand[j]]
+		})
+		pick := cand[step%k]
+		bi := avail[pick]
+		avail[pick] = avail[len(avail)-1]
+		avail = avail[:len(avail)-1]
+		take(bi)
+		step++
+	}
+}
+
+// sampleVariance returns the unbiased sample variance of xs (0 for fewer
+// than two observations).
+func sampleVariance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	var mean float64
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	var ss float64
+	for _, x := range xs {
+		d := x - mean
+		ss += d * d
+	}
+	return ss / float64(len(xs)-1)
 }

@@ -246,4 +246,209 @@ func TestDistributionString(t *testing.T) {
 	if Uniform.String() != "uniform" || LinTmp.String() != "lintmp" || ExpTmp.String() != "exptmp" {
 		t.Error("distribution names wrong")
 	}
+	if Stratified.String() != "stratified" || RankedSet.String() != "rankedset" {
+		t.Error("replicated distribution names wrong")
+	}
+}
+
+func TestParseDistribution(t *testing.T) {
+	cases := map[string]Distribution{
+		"":           Uniform,
+		"uniform":    Uniform,
+		"lintmp":     LinTmp,
+		"exptmp":     ExpTmp,
+		"stratified": Stratified,
+		"rankedset":  RankedSet,
+		"ranked-set": RankedSet,
+	}
+	for name, want := range cases {
+		got, err := ParseDistribution(name)
+		if err != nil || got != want {
+			t.Errorf("ParseDistribution(%q) = %v, %v; want %v", name, got, err, want)
+		}
+	}
+	if _, err := ParseDistribution("gaussian"); err == nil {
+		t.Error("unknown name accepted")
+	}
+}
+
+func TestReplicatedClassification(t *testing.T) {
+	for _, d := range []Distribution{Uniform, LinTmp, ExpTmp} {
+		if d.Replicated() {
+			t.Errorf("%s claims to be replicated", d)
+		}
+	}
+	for _, d := range []Distribution{Stratified, RankedSet} {
+		if !d.Replicated() || !d.Valid() {
+			t.Errorf("%s should be a valid replicated strategy", d)
+		}
+	}
+}
+
+func allDistributions() []Distribution {
+	return []Distribution{Uniform, LinTmp, ExpTmp, Stratified, RankedSet}
+}
+
+// TestSelectDeterministicAllDistributions is the determinism property suite:
+// for every strategy, an identical (seed, group, fraction) input must yield a
+// byte-identical selection — the contract the prediction cache and the
+// replicate CIs both lean on.
+func TestSelectDeterministicAllDistributions(t *testing.T) {
+	q, g := halfHotField(t, 64, 32, 3)
+	for _, dist := range allDistributions() {
+		for _, frac := range []float64{0.1, 0.4, 0.8} {
+			a, err := Select(q, g, frac, dist, vecmath.NewRNG(21))
+			if err != nil {
+				t.Fatalf("%s@%v: %v", dist, frac, err)
+			}
+			b, err := Select(q, g, frac, dist, vecmath.NewRNG(21))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(a.Pixels) != len(b.Pixels) {
+				t.Fatalf("%s@%v: sizes differ (%d vs %d)", dist, frac, len(a.Pixels), len(b.Pixels))
+			}
+			for i := range a.Pixels {
+				if a.Pixels[i] != b.Pixels[i] {
+					t.Fatalf("%s@%v: pixel %d differs for same seed", dist, frac, i)
+				}
+			}
+		}
+	}
+}
+
+// TestRealizedFractionNeverOvershoots is the budget-overshoot regression
+// test: whatever the strategy, the realized fraction may exceed the request
+// by at most one pixel-equivalent (the rounding of target itself).
+func TestRealizedFractionNeverOvershoots(t *testing.T) {
+	q, g := halfHotField(t, 64, 32, 3)
+	m := float64(g.NumPixels())
+	for _, dist := range allDistributions() {
+		for _, frac := range []float64{0.05, 0.1, 0.33, 0.5, 0.77, 0.9} {
+			sel, err := Select(q, g, frac, dist, vecmath.NewRNG(31))
+			if err != nil {
+				t.Fatalf("%s@%v: %v", dist, frac, err)
+			}
+			if sel.Fraction > frac+1/m+1e-9 {
+				t.Errorf("%s@%v: realized fraction %v overshoots by more than one pixel",
+					dist, frac, sel.Fraction)
+			}
+			reps, err := SelectReplicates(q, g, frac, dist, 4, vecmath.NewRNG(31))
+			if err != nil {
+				t.Fatalf("%s@%v replicates: %v", dist, frac, err)
+			}
+			total := 0
+			for _, r := range reps {
+				total += len(r.Pixels)
+			}
+			if float64(total)/m > frac+1/m+1e-9 {
+				t.Errorf("%s@%v: replicates cover %v, overshooting the budget",
+					dist, frac, float64(total)/m)
+			}
+		}
+	}
+}
+
+// TestSelectReplicatesDisjointDeterministic checks the repeated-subsampling
+// invariants: replicates are pairwise disjoint, every replicate is non-empty,
+// together they hit the rounded budget, and the whole set is reproducible
+// from the seed.
+func TestSelectReplicatesDisjointDeterministic(t *testing.T) {
+	q, g := halfHotField(t, 64, 32, 3)
+	m := g.NumPixels()
+	for _, dist := range []Distribution{Stratified, RankedSet} {
+		a, err := SelectReplicates(q, g, 0.5, dist, 5, vecmath.NewRNG(41))
+		if err != nil {
+			t.Fatalf("%s: %v", dist, err)
+		}
+		if len(a) != 5 {
+			t.Fatalf("%s: got %d replicates, want 5", dist, len(a))
+		}
+		seen := map[int32]int{}
+		total := 0
+		for ri, rep := range a {
+			if len(rep.Pixels) == 0 {
+				t.Fatalf("%s: replicate %d empty", dist, ri)
+			}
+			total += len(rep.Pixels)
+			for _, p := range rep.Pixels {
+				if prev, dup := seen[p]; dup {
+					t.Fatalf("%s: pixel %d in replicates %d and %d", dist, p, prev, ri)
+				}
+				seen[p] = ri
+			}
+		}
+		if want := int(0.5*float64(m) + 0.5); total != want {
+			t.Errorf("%s: replicates cover %d pixels, want %d", dist, total, want)
+		}
+		b, err := SelectReplicates(q, g, 0.5, dist, 5, vecmath.NewRNG(41))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for ri := range a {
+			if len(a[ri].Pixels) != len(b[ri].Pixels) {
+				t.Fatalf("%s: replicate %d size differs for same seed", dist, ri)
+			}
+			for i := range a[ri].Pixels {
+				if a[ri].Pixels[i] != b[ri].Pixels[i] {
+					t.Fatalf("%s: replicate %d differs for same seed", dist, ri)
+				}
+			}
+		}
+	}
+}
+
+// threeBandField builds a field with cold/warm/hot vertical thirds so
+// shortfall behaviour between the bands is observable.
+func threeBandField(t *testing.T, w, h int) (*heatmap.Quantized, *partition.Group) {
+	t.Helper()
+	cost := make([]float64, w*h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			switch {
+			case x >= 2*w/3:
+				cost[y*w+x] = 10
+			case x >= w/3:
+				cost[y*w+x] = 5
+			default:
+				cost[y*w+x] = 1
+			}
+		}
+	}
+	hm, err := heatmap.FromCost(cost, w, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := hm.Quantize(3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups, err := partition.Coarse(w, h, 1, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q, &groups[0]
+}
+
+// TestExpTmpShortfallPrefersWarm is the shortfall-dilution regression test:
+// when exptmp's warmth^5 quota exhausts the hot band, the remaining pixels
+// must come from the warm band, not dilute uniformly into the cold one.
+func TestExpTmpShortfallPrefersWarm(t *testing.T) {
+	q, g := threeBandField(t, 96, 32)
+	// 50% demand but the hot third holds only ~33% — a guaranteed shortfall.
+	sel, err := Select(q, g, 0.5, ExpTmp, vecmath.NewRNG(51))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold := 0
+	for _, p := range sel.Pixels {
+		if int(p)%96 < 96/3 {
+			cold++
+		}
+	}
+	coldShare := float64(cold) / float64(len(sel.Pixels))
+	if coldShare > 0.05 {
+		t.Errorf("exptmp shortfall drew %.1f%% cold pixels; the warm band should absorb it",
+			100*coldShare)
+	}
 }

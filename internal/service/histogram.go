@@ -29,6 +29,12 @@ func newHistogram() *histogram {
 	return &histogram{counts: make([]atomic.Uint64, len(latencyBuckets)+1)}
 }
 
+// observeValue records a unitless value (e.g. a relative CI half-width)
+// against the same bucket bounds, read as plain ratios rather than seconds.
+func (h *histogram) observeValue(v float64) {
+	h.observe(time.Duration(v * 1e9))
+}
+
 func (h *histogram) observe(d time.Duration) {
 	s := d.Seconds()
 	i := 0

@@ -39,6 +39,18 @@ type PredictRequest struct {
 	QuantLevels int     `json:"quant_levels,omitempty"`
 	Seed        uint64  `json:"seed,omitempty"`
 
+	// TargetCI enables adaptive sample sizing for the replicated
+	// distributions (stratified, rankedset): each group grows its subset
+	// until every metric's relative CI half-width is at most this value.
+	TargetCI float64 `json:"target_ci,omitempty"`
+	// Replicates overrides the sub-draws per round (0 = default 5, else ≥2);
+	// Confidence the CI level (0 = 0.95; 0.90 and 0.99 also supported);
+	// MaxRounds the adaptive round cap (0 = default 4). All three apply to
+	// the replicated distributions only.
+	Replicates int     `json:"replicates,omitempty"`
+	Confidence float64 `json:"confidence,omitempty"`
+	MaxRounds  int     `json:"max_rounds,omitempty"`
+
 	Attempts int `json:"attempts,omitempty"`
 	Quorum   int `json:"quorum,omitempty"`
 	// TimeoutMs is this request's whole-prediction deadline; absent or 0
@@ -46,14 +58,20 @@ type PredictRequest struct {
 	TimeoutMs int `json:"timeout_ms,omitempty"`
 }
 
-// GroupInfo summarises one group run for the response.
+// GroupInfo summarises one group run for the response. Replicates, Rounds
+// and TargetMet appear only for the replicated distributions; TargetMet is
+// meaningful when Rounds > 0 (it is trivially true when no target_ci was
+// requested).
 type GroupInfo struct {
-	Pixels   int     `json:"pixels"`
-	Selected int     `json:"selected"`
-	Fraction float64 `json:"fraction"`
-	Attempts int     `json:"attempts"`
-	Cycles   uint64  `json:"cycles"`
-	Error    string  `json:"error,omitempty"`
+	Pixels     int     `json:"pixels"`
+	Selected   int     `json:"selected"`
+	Fraction   float64 `json:"fraction"`
+	Attempts   int     `json:"attempts"`
+	Cycles     uint64  `json:"cycles"`
+	Replicates int     `json:"replicates,omitempty"`
+	Rounds     int     `json:"rounds,omitempty"`
+	TargetMet  bool    `json:"target_met,omitempty"`
+	Error      string  `json:"error,omitempty"`
 }
 
 // DegradedInfo reports a prediction that lost groups but met quorum.
@@ -78,8 +96,15 @@ type PredictResponse struct {
 	// in-flight build).
 	Cache     string             `json:"cache"`
 	Predicted map[string]float64 `json:"predicted"`
-	Groups    []GroupInfo        `json:"groups"`
-	Degraded  *DegradedInfo      `json:"degraded,omitempty"`
+	// CILow/CIHigh bound each metric's confidence interval and Replicates
+	// reports the sub-draws behind it; present only for the replicated
+	// distributions (stratified, rankedset), where Predicted holds the
+	// interval means.
+	CILow      map[string]float64 `json:"ci_low,omitempty"`
+	CIHigh     map[string]float64 `json:"ci_high,omitempty"`
+	Replicates int                `json:"replicates,omitempty"`
+	Groups     []GroupInfo        `json:"groups"`
+	Degraded   *DegradedInfo      `json:"degraded,omitempty"`
 	// PreprocessMs/SimWallMs/TotalCPUMs are the timings of the build that
 	// produced the artifact (a cached result keeps its original build's
 	// timings); ElapsedMs is what this request actually took.
@@ -164,15 +189,9 @@ func (s *Server) optionsFor(req *PredictRequest) (core.Options, error) {
 	default:
 		return o, fmt.Errorf("unknown division %q (want fine or coarse)", req.Division)
 	}
-	switch strings.ToLower(req.Dist) {
-	case "", "uniform":
-		o.Dist = sampling.Uniform
-	case "lintmp":
-		o.Dist = sampling.LinTmp
-	case "exptmp":
-		o.Dist = sampling.ExpTmp
-	default:
-		return o, fmt.Errorf("unknown dist %q (want uniform, lintmp or exptmp)", req.Dist)
+	o.Dist, err = sampling.ParseDistribution(strings.ToLower(req.Dist))
+	if err != nil {
+		return o, err
 	}
 	if req.Width < 0 || req.Height < 0 || req.SPP < 0 {
 		return o, fmt.Errorf("negative frame dimensions %dx%d spp=%d", req.Width, req.Height, req.SPP)
@@ -192,6 +211,23 @@ func (s *Server) optionsFor(req *PredictRequest) (core.Options, error) {
 	if req.TimeoutMs < 0 {
 		return o, fmt.Errorf("negative timeout_ms %d", req.TimeoutMs)
 	}
+	if req.TargetCI < 0 {
+		return o, fmt.Errorf("negative target_ci %v", req.TargetCI)
+	}
+	if req.TargetCI > 0 && !o.Dist.Replicated() {
+		return o, fmt.Errorf("target_ci requires dist stratified or rankedset, got %q", o.Dist)
+	}
+	if req.Replicates < 0 || req.Replicates == 1 {
+		return o, fmt.Errorf("replicates %d must be 0 (default) or at least 2", req.Replicates)
+	}
+	switch req.Confidence {
+	case 0, 0.90, 0.95, 0.99:
+	default:
+		return o, fmt.Errorf("confidence %v unsupported (want 0.90, 0.95 or 0.99)", req.Confidence)
+	}
+	if req.MaxRounds < 0 {
+		return o, fmt.Errorf("negative max_rounds %d", req.MaxRounds)
+	}
 
 	o.Config = cfg
 	o.Scene = sceneName
@@ -203,6 +239,10 @@ func (s *Server) optionsFor(req *PredictRequest) (core.Options, error) {
 	o.Regression = req.Regression
 	o.QuantLevels = req.QuantLevels
 	o.Seed = req.Seed
+	o.TargetCIHalfWidth = req.TargetCI
+	o.Sampling.Replicates = req.Replicates
+	o.Sampling.Confidence = req.Confidence
+	o.Sampling.MaxRounds = req.MaxRounds
 	o.FT.Attempts = req.Attempts
 	o.FT.Quorum = req.Quorum
 	o.Parallel = s.cfg.Parallel
@@ -322,13 +362,28 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	for _, m := range metrics.All() {
 		resp.Predicted[m.String()] = res.Predicted[m]
 	}
+	if res.Intervals != nil {
+		resp.CILow = make(map[string]float64, len(res.Intervals))
+		resp.CIHigh = make(map[string]float64, len(res.Intervals))
+		for m, iv := range res.Intervals {
+			resp.CILow[m.String()] = iv.Low
+			resp.CIHigh[m.String()] = iv.High
+			if resp.Replicates == 0 || iv.Replicates < resp.Replicates {
+				resp.Replicates = iv.Replicates
+			}
+		}
+		s.histCI.observeValue(res.Intervals.MaxRelHalfWidth())
+	}
 	for gi, g := range res.Groups {
 		info := GroupInfo{
-			Pixels:   g.Pixels,
-			Selected: g.Selected,
-			Fraction: g.Fraction,
-			Attempts: g.Attempts,
-			Cycles:   g.Report.Cycles,
+			Pixels:     g.Pixels,
+			Selected:   g.Selected,
+			Fraction:   g.Fraction,
+			Attempts:   g.Attempts,
+			Cycles:     g.Report.Cycles,
+			Replicates: g.Replicates,
+			Rounds:     g.Rounds,
+			TargetMet:  g.TargetMet,
 		}
 		if g.Err != nil {
 			info.Error = g.Err.Error()

@@ -96,6 +96,7 @@ type Server struct {
 	histRequest *histogram // end-to-end predict request latency
 	histBuild   *histogram // cold pipeline executions only
 	histWait    *histogram // admission-queue wait of builders
+	histCI      *histogram // worst relative CI half-width of replicated predictions
 
 	// histStep holds one latency histogram per pipeline step span name
 	// (core.StepSpanNames), fed from the per-build tracer; exposed as
@@ -121,6 +122,7 @@ func New(cfg Config) *Server {
 		histRequest: newHistogram(),
 		histBuild:   newHistogram(),
 		histWait:    newHistogram(),
+		histCI:      newHistogram(),
 		histStep:    make(map[string]*histogram, len(core.StepSpanNames)),
 	}
 	for _, name := range core.StepSpanNames {
@@ -350,6 +352,13 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.histRequest.writeProm(w, "zatel_stage_latency_seconds", `stage="request"`)
 	s.histBuild.writeProm(w, "zatel_stage_latency_seconds", `stage="build"`)
 	s.histWait.writeProm(w, "zatel_stage_latency_seconds", `stage="admission_wait"`)
+
+	// Prediction quality: the worst relative CI half-width across metrics
+	// of every served replicated (stratified/rankedset) prediction. The
+	// bucket bounds are reused from the latency histograms and read as
+	// unitless ratios here (0.05 = ±5%).
+	fmt.Fprintf(w, "# HELP zatel_ci_halfwidth worst relative confidence-interval half-width of served replicated predictions\n# TYPE zatel_ci_halfwidth histogram\n")
+	s.histCI.writeProm(w, "zatel_ci_halfwidth", `kind="relative"`)
 
 	// Per-pipeline-step latencies, one series per step span of DESIGN.md's
 	// taxonomy, fed from the tracer of each request that ran a build.

@@ -8,4 +8,6 @@ ZATEL_BENCH_STORE_JSON=/root/repo/BENCH_store.json go test -run 'TestWarmStoreSp
 echo "BENCH_STORE_EXIT=$?" >> /root/repo/bench_store_output.txt
 ZATEL_BENCH_GPU_JSON=/root/repo/BENCH_gpu.json go test -run 'TestGPUHotPathSpeedup' -count=1 -timeout 10m . > /root/repo/bench_gpu_output.txt 2>&1
 echo "BENCH_GPU_EXIT=$?" >> /root/repo/bench_gpu_output.txt
+ZATEL_BENCH_SAMPLING_JSON=/root/repo/BENCH_sampling.json go test -run 'TestAdaptiveSamplingBench' -count=1 -timeout 10m . > /root/repo/bench_sampling_output.txt 2>&1
+echo "BENCH_SAMPLING_EXIT=$?" >> /root/repo/bench_sampling_output.txt
 touch /root/repo/.capture_done
