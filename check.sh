@@ -25,6 +25,16 @@ go test -race -short -timeout 5m \
 	-run 'Fault|Inject|Degraded|Quorum|Retr|Policy|Straggl|Backoff' \
 	./internal/faults/ ./internal/runner/ ./internal/core/ ./internal/experiments/
 
+# Short-mode disk fault-injection soak: the disk tier under torn writes,
+# ENOSPC, EIO and bitrot (seeded via the faults filesystem wrapper), plus
+# the entry-framing and codec round-trip properties. Proves corrupt entries
+# are quarantined and rebuilt — never served — and a failing disk degrades
+# to memory-only instead of failing requests (see DESIGN.md "Durability &
+# integrity").
+go test -race -short -timeout 5m \
+	-run 'Disk|Torn|Bitrot|ENOSPC|Quarantine|FaultFS|Codec|EvictionRace' \
+	./internal/store/ ./internal/faults/ ./internal/rt/ ./internal/core/ ./internal/service/
+
 # Short-mode adaptive-sampling smoke: the replicated strategies' determinism
 # and disjointness properties, interval construction, the adaptive loop's
 # round cap, and the service's CI response shape under the race detector

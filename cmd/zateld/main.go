@@ -7,6 +7,7 @@
 // Usage:
 //
 //	zateld -addr :8080 -store-size 512MiB -max-concurrent 8
+//	zateld -store-dir /var/cache/zatel -disk-size 4GiB   # persistent tier
 //	zateld -log-format json -debug-addr localhost:6060   # JSON logs + pprof
 //
 //	curl -s -X POST localhost:8080/v1/predict \
@@ -36,6 +37,8 @@ func main() {
 	var (
 		addr          = flag.String("addr", ":8080", "listen address")
 		storeSize     = flag.String("store-size", "512MiB", "artifact store byte budget (0 = unbounded)")
+		storeDir      = flag.String("store-dir", "", "directory for the persistent artifact tier (empty = memory-only)")
+		diskSize      = flag.String("disk-size", "2GiB", "disk tier byte budget (0 = unbounded)")
 		maxConcurrent = flag.Int("max-concurrent", 0, "max predictions building at once (0 = one per CPU core)")
 		maxQueue      = flag.Int("max-queue", 0, "max builders waiting for a slot before 503 (0 = 4x max-concurrent)")
 		defTimeout    = flag.Duration("default-timeout", 60*time.Second, "per-request deadline when the request names none")
@@ -67,6 +70,27 @@ func main() {
 	// store puts predictions and their inputs under one LRU.
 	st := store.Default()
 	st.SetMaxBytes(budget)
+
+	// The disk tier survives restarts: artifacts built before a deploy or
+	// crash are integrity-verified and served warm afterwards. A failing or
+	// full disk degrades the tier to memory-only instead of stalling
+	// requests, so enabling it is always safe.
+	var disk *store.Disk
+	if *storeDir != "" {
+		diskBudget, err := store.ParseSize(*diskSize)
+		if err != nil {
+			fatal(err)
+		}
+		disk, err = store.OpenDisk(store.DiskConfig{Dir: *storeDir, MaxBytes: diskBudget})
+		if err != nil {
+			fatal(fmt.Errorf("opening -store-dir: %w", err))
+		}
+		st.AttachDisk(disk)
+		dc := disk.Counters()
+		slog.Info("disk tier open", "dir", *storeDir, "budget", *diskSize,
+			"entries", dc.Entries, "bytes", dc.Bytes,
+			"orphans_removed", dc.ScanOrphans, "quarantined", dc.Quarantined)
+	}
 
 	srv := service.New(service.Config{
 		Store:          st,
@@ -124,6 +148,13 @@ func main() {
 		if err := hs.Shutdown(shutdownCtx); err != nil {
 			slog.Error("drain incomplete", "err", err)
 			os.Exit(1)
+		}
+		if disk != nil {
+			// Flush the write-behind queue so artifacts built moments before
+			// the signal are warm after the next start.
+			if err := disk.Close(); err != nil {
+				slog.Error("disk tier close failed", "err", err)
+			}
 		}
 		slog.Info("drained cleanly")
 	case err := <-errCh:

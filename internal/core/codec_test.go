@@ -1,0 +1,188 @@
+package core
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"zatel/internal/combine"
+	"zatel/internal/heatmap"
+	"zatel/internal/metrics"
+)
+
+func testQuantized() *heatmap.Quantized {
+	q := &heatmap.Quantized{
+		Width:  4,
+		Height: 3,
+		Levels: []float64{0.5, 1.25, 7.75},
+		Index:  make([]int, 12),
+	}
+	for i := range q.Index {
+		q.Index[i] = i % len(q.Levels)
+	}
+	return q
+}
+
+func TestQuantCodecRoundTrip(t *testing.T) {
+	q := testQuantized()
+	c := quantCodec{}
+	if !c.Encodes(q) {
+		t.Fatal("Encodes(*Quantized) = false")
+	}
+	data, err := c.Encode(q)
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	v, size, err := c.Decode(data)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	got := v.(*heatmap.Quantized)
+	if !reflect.DeepEqual(q, got) {
+		t.Fatalf("round trip mismatch:\n in: %+v\nout: %+v", q, got)
+	}
+	if size <= 0 {
+		t.Fatalf("size = %d, want > 0", size)
+	}
+}
+
+func TestQuantCodecRejectsCorruption(t *testing.T) {
+	c := quantCodec{}
+	data, err := c.Encode(testQuantized())
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	for _, n := range []int{0, 11, len(data) / 2, len(data) - 1} {
+		if _, _, err := c.Decode(data[:n]); err == nil {
+			t.Fatalf("Decode of %d/%d bytes succeeded", n, len(data))
+		}
+	}
+	// An index pointing past the level table must be rejected.
+	bad := append([]byte{}, data...)
+	bad[len(bad)-4] = 0xFF
+	if _, _, err := c.Decode(bad); err == nil {
+		t.Fatal("Decode with out-of-range index succeeded")
+	}
+}
+
+func testResult() *Result {
+	iv := combine.GroupIntervals{
+		metrics.IPC: {Mean: 1.5, Low: 1.2, High: 1.8, Replicates: 9},
+	}
+	return &Result{
+		Predicted: combine.GroupValues{
+			metrics.IPC:           1.5,
+			metrics.BWUtilization: 0.62,
+		},
+		Intervals: iv,
+		Groups: []GroupRun{
+			{
+				Report:     metrics.Report{Cycles: 9000, Instructions: 12600, WallTime: 80 * time.Millisecond},
+				Fraction:   0.25,
+				Pixels:     144,
+				Selected:   36,
+				WallTime:   90 * time.Millisecond,
+				QueueTime:  5 * time.Millisecond,
+				Attempts:   1,
+				Intervals:  iv,
+				Replicates: 9,
+				Rounds:     2,
+				TargetMet:  true,
+			},
+			{
+				Fraction: 0.5,
+				Pixels:   144,
+				Attempts: 3,
+				Err:      errors.New("runner: injected failure"),
+			},
+		},
+		K:              4,
+		Quantized:      testQuantized(),
+		PreprocessTime: 12 * time.Millisecond,
+		SimWallTime:    200 * time.Millisecond,
+		TotalCPUTime:   800 * time.Millisecond,
+		Degraded: &Degradation{
+			FailedGroups: []int{1},
+			GroupErrors:  map[int]error{1: errors.New("runner: injected failure")},
+			Attempts:     map[int]int{0: 1, 1: 3},
+			Quorum:       3,
+			Survivors:    3,
+			Total:        4,
+		},
+	}
+}
+
+func TestPredictCodecRoundTrip(t *testing.T) {
+	r := testResult()
+	c := predictCodec{}
+	if !c.Encodes(r) {
+		t.Fatal("Encodes(*Result) = false")
+	}
+	data, err := c.Encode(r)
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	v, size, err := c.Decode(data)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	got := v.(*Result)
+	if size <= 0 {
+		t.Fatalf("size = %d, want > 0", size)
+	}
+	if !reflect.DeepEqual(r.Predicted, got.Predicted) {
+		t.Fatalf("Predicted mismatch: %+v vs %+v", r.Predicted, got.Predicted)
+	}
+	if !reflect.DeepEqual(r.Intervals, got.Intervals) {
+		t.Fatalf("Intervals mismatch: %+v vs %+v", r.Intervals, got.Intervals)
+	}
+	if !reflect.DeepEqual(r.Quantized, got.Quantized) {
+		t.Fatalf("Quantized mismatch")
+	}
+	if got.K != r.K || got.PreprocessTime != r.PreprocessTime ||
+		got.SimWallTime != r.SimWallTime || got.TotalCPUTime != r.TotalCPUTime {
+		t.Fatalf("scalar fields mismatch: %+v", got)
+	}
+	if len(got.Groups) != len(r.Groups) {
+		t.Fatalf("group count mismatch: %d vs %d", len(got.Groups), len(r.Groups))
+	}
+	for i := range r.Groups {
+		want, have := r.Groups[i], got.Groups[i]
+		if (want.Err == nil) != (have.Err == nil) {
+			t.Fatalf("group %d Err presence mismatch", i)
+		}
+		if want.Err != nil && want.Err.Error() != have.Err.Error() {
+			t.Fatalf("group %d Err mismatch: %q vs %q", i, want.Err, have.Err)
+		}
+		// Errors decode as fresh values; blank them for the struct compare.
+		want.Err, have.Err = nil, nil
+		if !reflect.DeepEqual(want, have) {
+			t.Fatalf("group %d mismatch:\nwant %+v\nhave %+v", i, want, have)
+		}
+	}
+	d, gd := r.Degraded, got.Degraded
+	if gd == nil {
+		t.Fatal("Degraded lost in round trip")
+	}
+	if !reflect.DeepEqual(d.FailedGroups, gd.FailedGroups) ||
+		!reflect.DeepEqual(d.Attempts, gd.Attempts) ||
+		d.Quorum != gd.Quorum || d.Survivors != gd.Survivors || d.Total != gd.Total {
+		t.Fatalf("Degraded mismatch:\nwant %+v\nhave %+v", d, gd)
+	}
+	for gi, err := range d.GroupErrors {
+		if gd.GroupErrors[gi] == nil || gd.GroupErrors[gi].Error() != err.Error() {
+			t.Fatalf("Degraded.GroupErrors[%d] mismatch", gi)
+		}
+	}
+}
+
+func TestPredictCodecRejectsCorruption(t *testing.T) {
+	c := predictCodec{}
+	if _, _, err := c.Decode([]byte(`{"predicted":{"no such metric":1}}`)); err == nil {
+		t.Fatal("Decode with unknown metric name succeeded")
+	}
+	if _, _, err := c.Decode([]byte(`not json`)); err == nil {
+		t.Fatal("Decode of garbage succeeded")
+	}
+}

@@ -1,0 +1,249 @@
+package faults
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"sync"
+	"sync/atomic"
+	"syscall"
+
+	"zatel/internal/vecmath"
+)
+
+// FS is the filesystem surface the disk artifact tier (internal/store's
+// disk store) runs on. It is deliberately whole-file: the disk store's
+// crash-safety discipline is temp-file → durable write → rename, and a
+// whole-file WriteFile is the natural unit for deterministic fault
+// injection (a torn write tears one entry, not one syscall).
+type FS interface {
+	// MkdirAll creates the directory and any missing parents.
+	MkdirAll(path string) error
+	// ReadFile returns the whole file contents.
+	ReadFile(name string) ([]byte, error)
+	// WriteFile durably writes data to name (create-or-truncate, then
+	// fsync): after a nil return the bytes are expected to survive a crash.
+	WriteFile(name string, data []byte) error
+	// Rename atomically replaces newpath with oldpath.
+	Rename(oldpath, newpath string) error
+	// Remove deletes the file.
+	Remove(name string) error
+	// ReadDir lists the directory.
+	ReadDir(name string) ([]fs.DirEntry, error)
+}
+
+// OSFS is the real operating-system filesystem.
+type OSFS struct{}
+
+// MkdirAll implements FS.
+func (OSFS) MkdirAll(path string) error { return os.MkdirAll(path, 0o755) }
+
+// ReadFile implements FS.
+func (OSFS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+
+// WriteFile implements FS: create-or-truncate, write, fsync, close. The
+// sync before close is what makes the disk store's rename discipline
+// crash-safe — without it a power cut can leave a renamed entry with
+// unwritten pages (a torn entry the integrity header then catches).
+func (OSFS) WriteFile(name string, data []byte) error {
+	f, err := os.OpenFile(name, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Rename implements FS.
+func (OSFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+// Remove implements FS.
+func (OSFS) Remove(name string) error { return os.Remove(name) }
+
+// ReadDir implements FS.
+func (OSFS) ReadDir(name string) ([]fs.DirEntry, error) { return os.ReadDir(name) }
+
+// FSConfig describes the filesystem fault distribution. The zero value
+// injects nothing. Every decision is a pure function of (Seed, operation
+// kind, operation ordinal), mirroring the job injector's determinism
+// contract: two runs issuing the same operation sequence see exactly the
+// same faults.
+type FSConfig struct {
+	// TornWriteRate is the per-WriteFile probability that the write
+	// silently persists only a seeded prefix of the data — the lying-disk /
+	// power-cut model. The call still returns nil; only the integrity
+	// header on the read side can catch it.
+	TornWriteRate float64
+	// ENOSPCRate is the per-WriteFile probability of failing with ENOSPC.
+	ENOSPCRate float64
+	// ReadErrRate is the per-ReadFile probability of failing with EIO.
+	ReadErrRate float64
+	// BitFlipRate is the per-ReadFile probability of returning the data
+	// with one seeded bit inverted — bitrot at rest.
+	BitFlipRate float64
+	// Seed roots every injection decision.
+	Seed uint64
+}
+
+// Enabled reports whether the configuration injects any fault at all.
+func (c FSConfig) Enabled() bool {
+	return c.TornWriteRate > 0 || c.ENOSPCRate > 0 || c.ReadErrRate > 0 || c.BitFlipRate > 0
+}
+
+// Validate checks that every rate is a probability.
+func (c FSConfig) Validate() error {
+	for _, r := range []struct {
+		name string
+		rate float64
+	}{
+		{"TornWriteRate", c.TornWriteRate},
+		{"ENOSPCRate", c.ENOSPCRate},
+		{"ReadErrRate", c.ReadErrRate},
+		{"BitFlipRate", c.BitFlipRate},
+	} {
+		if r.rate < 0 || r.rate > 1 {
+			return fmt.Errorf("faults: %s %v out of [0,1]", r.name, r.rate)
+		}
+	}
+	return nil
+}
+
+// FSStats counts the filesystem faults a FaultFS has delivered.
+type FSStats struct {
+	TornWrites int64
+	ENOSPCs    int64
+	ReadErrors int64
+	BitFlips   int64
+}
+
+// FaultFS wraps an FS with seeded fault injection. Writes and reads draw
+// from independent decision streams keyed by their own ordinal, so the
+// fault sequence does not depend on how reads and writes interleave.
+type FaultFS struct {
+	inner FS
+
+	mu  sync.Mutex
+	cfg FSConfig
+
+	writeOps atomic.Uint64
+	readOps  atomic.Uint64
+
+	torn     atomic.Int64
+	enospcs  atomic.Int64
+	readErrs atomic.Int64
+	bitFlips atomic.Int64
+}
+
+// Decision-stream discriminators, so write and read draws never collide.
+const (
+	fsStreamWrite = 1
+	fsStreamRead  = 2
+)
+
+// NewFaultFS validates cfg and wraps inner (nil = the real OS filesystem).
+func NewFaultFS(inner FS, cfg FSConfig) (*FaultFS, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if inner == nil {
+		inner = OSFS{}
+	}
+	return &FaultFS{inner: inner, cfg: cfg}, nil
+}
+
+// SetConfig replaces the fault distribution. Soaks use it to heal or break
+// the disk mid-run (e.g. lift a full-disk condition so a degraded store's
+// re-probe can recover); decisions stay deterministic because the operation
+// ordinals keep advancing.
+func (f *FaultFS) SetConfig(cfg FSConfig) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	f.mu.Lock()
+	f.cfg = cfg
+	f.mu.Unlock()
+	return nil
+}
+
+// Stats snapshots the injected-fault counters.
+func (f *FaultFS) Stats() FSStats {
+	return FSStats{
+		TornWrites: f.torn.Load(),
+		ENOSPCs:    f.enospcs.Load(),
+		ReadErrors: f.readErrs.Load(),
+		BitFlips:   f.bitFlips.Load(),
+	}
+}
+
+func (f *FaultFS) config() FSConfig {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.cfg
+}
+
+// MkdirAll implements FS (never injected: directory creation failures are
+// a setup error, not a runtime degradation mode worth modelling).
+func (f *FaultFS) MkdirAll(path string) error { return f.inner.MkdirAll(path) }
+
+// WriteFile implements FS with ENOSPC and torn-write injection. An
+// injected ENOSPC writes nothing; an injected torn write persists only a
+// seeded prefix of data and reports success, modelling a disk that
+// acknowledged a write it never completed.
+func (f *FaultFS) WriteFile(name string, data []byte) error {
+	cfg := f.config()
+	op := f.writeOps.Add(1)
+	rng := vecmath.NewRNG(cfg.Seed).Split(fsStreamWrite).Split(op)
+	if rng.Float64() < cfg.ENOSPCRate {
+		f.enospcs.Add(1)
+		return fmt.Errorf("faults: injected ENOSPC writing %s: %w (%w)", name, syscall.ENOSPC, ErrInjected)
+	}
+	if rng.Float64() < cfg.TornWriteRate && len(data) > 0 {
+		f.torn.Add(1)
+		n := int(rng.Uint64() % uint64(len(data)))
+		return f.inner.WriteFile(name, data[:n])
+	}
+	return f.inner.WriteFile(name, data)
+}
+
+// ReadFile implements FS with EIO and bit-flip injection.
+func (f *FaultFS) ReadFile(name string) ([]byte, error) {
+	cfg := f.config()
+	op := f.readOps.Add(1)
+	rng := vecmath.NewRNG(cfg.Seed).Split(fsStreamRead).Split(op)
+	if rng.Float64() < cfg.ReadErrRate {
+		f.readErrs.Add(1)
+		return nil, fmt.Errorf("faults: injected EIO reading %s: %w (%w)", name, syscall.EIO, ErrInjected)
+	}
+	data, err := f.inner.ReadFile(name)
+	if err != nil {
+		return nil, err
+	}
+	if rng.Float64() < cfg.BitFlipRate && len(data) > 0 {
+		f.bitFlips.Add(1)
+		bit := rng.Uint64() % uint64(len(data)*8)
+		flipped := make([]byte, len(data))
+		copy(flipped, data)
+		flipped[bit/8] ^= 1 << (bit % 8)
+		return flipped, nil
+	}
+	return data, nil
+}
+
+// Rename implements FS (never injected: the disk store treats a failed
+// rename like a failed write, which ENOSPCRate already models, and an
+// interrupted rename is atomic on POSIX — either name survives, covered by
+// the torn-write and orphan-temp paths).
+func (f *FaultFS) Rename(oldpath, newpath string) error { return f.inner.Rename(oldpath, newpath) }
+
+// Remove implements FS.
+func (f *FaultFS) Remove(name string) error { return f.inner.Remove(name) }
+
+// ReadDir implements FS.
+func (f *FaultFS) ReadDir(name string) ([]fs.DirEntry, error) { return f.inner.ReadDir(name) }

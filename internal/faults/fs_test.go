@@ -1,0 +1,185 @@
+package faults
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+)
+
+func newTestFS(t *testing.T, cfg FSConfig) (*FaultFS, string) {
+	t.Helper()
+	f, err := NewFaultFS(nil, cfg)
+	if err != nil {
+		t.Fatalf("NewFaultFS: %v", err)
+	}
+	return f, t.TempDir()
+}
+
+func TestFSConfigValidate(t *testing.T) {
+	if err := (FSConfig{}).Validate(); err != nil {
+		t.Errorf("zero config invalid: %v", err)
+	}
+	if (FSConfig{}).Enabled() {
+		t.Error("zero config reports enabled")
+	}
+	if !(FSConfig{BitFlipRate: 0.1}).Enabled() {
+		t.Error("bit-flip config reports disabled")
+	}
+	for _, bad := range []FSConfig{
+		{TornWriteRate: -0.1}, {ENOSPCRate: 1.5}, {ReadErrRate: 2}, {BitFlipRate: -1},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("config %+v validated", bad)
+		}
+	}
+	if _, err := NewFaultFS(nil, FSConfig{ENOSPCRate: 7}); err == nil {
+		t.Error("NewFaultFS accepted an invalid config")
+	}
+}
+
+func TestFaultFSPassThrough(t *testing.T) {
+	f, dir := newTestFS(t, FSConfig{})
+	name := filepath.Join(dir, "sub", "a.bin")
+	if err := f.MkdirAll(filepath.Dir(name)); err != nil {
+		t.Fatalf("MkdirAll: %v", err)
+	}
+	want := []byte("payload bytes")
+	if err := f.WriteFile(name, want); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	got, err := f.ReadFile(name)
+	if err != nil || !bytes.Equal(got, want) {
+		t.Fatalf("ReadFile: %q %v", got, err)
+	}
+	ents, err := f.ReadDir(filepath.Dir(name))
+	if err != nil || len(ents) != 1 {
+		t.Fatalf("ReadDir: %v %v", ents, err)
+	}
+	moved := name + ".moved"
+	if err := f.Rename(name, moved); err != nil {
+		t.Fatalf("Rename: %v", err)
+	}
+	if err := f.Remove(moved); err != nil {
+		t.Fatalf("Remove: %v", err)
+	}
+	if s := f.Stats(); s != (FSStats{}) {
+		t.Errorf("fault-free run counted faults: %+v", s)
+	}
+}
+
+func TestFaultFSTornWrite(t *testing.T) {
+	f, dir := newTestFS(t, FSConfig{TornWriteRate: 1, Seed: 11})
+	name := filepath.Join(dir, "torn.bin")
+	data := bytes.Repeat([]byte{0xAB}, 256)
+	// The lying-disk model: the call reports success...
+	if err := f.WriteFile(name, data); err != nil {
+		t.Fatalf("torn WriteFile returned error: %v", err)
+	}
+	// ...but only a strict prefix landed.
+	got, err := os.ReadFile(name)
+	if err != nil {
+		t.Fatalf("readback: %v", err)
+	}
+	if len(got) >= len(data) {
+		t.Fatalf("torn write persisted %d of %d bytes, want a strict prefix", len(got), len(data))
+	}
+	if !bytes.Equal(got, data[:len(got)]) {
+		t.Error("torn write persisted non-prefix bytes")
+	}
+	if s := f.Stats(); s.TornWrites != 1 {
+		t.Errorf("stats = %+v, want 1 torn write", s)
+	}
+}
+
+func TestFaultFSENOSPC(t *testing.T) {
+	f, dir := newTestFS(t, FSConfig{ENOSPCRate: 1, Seed: 3})
+	name := filepath.Join(dir, "full.bin")
+	err := f.WriteFile(name, []byte("x"))
+	if !errors.Is(err, syscall.ENOSPC) || !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ENOSPC wrapping ErrInjected", err)
+	}
+	if _, statErr := os.Stat(name); !os.IsNotExist(statErr) {
+		t.Error("ENOSPC write left a file behind")
+	}
+	if s := f.Stats(); s.ENOSPCs != 1 {
+		t.Errorf("stats = %+v, want 1 ENOSPC", s)
+	}
+}
+
+func TestFaultFSReadErrAndBitFlip(t *testing.T) {
+	f, dir := newTestFS(t, FSConfig{ReadErrRate: 1, Seed: 5})
+	name := filepath.Join(dir, "r.bin")
+	data := bytes.Repeat([]byte{0x5C}, 64)
+	if err := f.WriteFile(name, data); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	if _, err := f.ReadFile(name); !errors.Is(err, syscall.EIO) || !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want EIO wrapping ErrInjected", err)
+	}
+
+	// Heal the EIO, turn on bitrot: exactly one bit of the result differs.
+	if err := f.SetConfig(FSConfig{BitFlipRate: 1, Seed: 5}); err != nil {
+		t.Fatalf("SetConfig: %v", err)
+	}
+	got, err := f.ReadFile(name)
+	if err != nil {
+		t.Fatalf("bit-flip read errored: %v", err)
+	}
+	if len(got) != len(data) {
+		t.Fatalf("bit-flip read returned %d bytes, want %d", len(got), len(data))
+	}
+	diffBits := 0
+	for i := range got {
+		for b := got[i] ^ data[i]; b != 0; b &= b - 1 {
+			diffBits++
+		}
+	}
+	if diffBits != 1 {
+		t.Errorf("%d bits flipped, want exactly 1", diffBits)
+	}
+	// The file itself is untouched — bitrot is modelled at read time.
+	onDisk, _ := os.ReadFile(name)
+	if !bytes.Equal(onDisk, data) {
+		t.Error("bit-flip modified the underlying file")
+	}
+	if s := f.Stats(); s.ReadErrors != 1 || s.BitFlips != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+// TestFaultFSDeterminism: two FaultFS instances with the same seed issue
+// identical fault sequences for identical operation sequences, regardless
+// of wall clock or interleaving with reads.
+func TestFaultFSDeterminism(t *testing.T) {
+	run := func(dir string) []bool {
+		f, err := NewFaultFS(nil, FSConfig{ENOSPCRate: 0.5, Seed: 99})
+		if err != nil {
+			t.Fatal(err)
+		}
+		outcomes := make([]bool, 40)
+		for i := range outcomes {
+			err := f.WriteFile(filepath.Join(dir, "d.bin"), []byte("data"))
+			outcomes[i] = err != nil
+			// Interleave reads; the write decision stream must not shift.
+			f.ReadFile(filepath.Join(dir, "d.bin"))
+		}
+		return outcomes
+	}
+	a := run(t.TempDir())
+	b := run(t.TempDir())
+	var faults int
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("fault sequences diverge at op %d", i)
+		}
+		if a[i] {
+			faults++
+		}
+	}
+	if faults == 0 || faults == len(a) {
+		t.Errorf("rate 0.5 delivered %d/%d faults; draw looks broken", faults, len(a))
+	}
+}

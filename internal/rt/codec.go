@@ -1,0 +1,336 @@
+package rt
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"zatel/internal/bvh"
+	"zatel/internal/scene"
+	"zatel/internal/store"
+)
+
+// WorkloadCodecKind is the versioned disk-format tag of serialized
+// workload traces — the seed of the capture/replay artifact format the
+// ROADMAP describes. Bump the suffix on any layout change; old entries
+// then read as unknown-kind misses and are rebuilt, never misdecoded.
+const WorkloadCodecKind = "rt.workload/v1"
+
+// workloadCodec serializes rt.Workload arena traces for the artifact
+// store's disk tier.
+//
+// Payload layout (little endian):
+//
+//	u32 sceneNameLen, sceneName
+//	u32 width, u32 height, u32 spp
+//	f64 cost[width*height]
+//	u64 nOps, u64 nRays, u64 nSteps          (arena totals)
+//	u32 opCount, u32 rayCount  per pixel     (trace boundaries)
+//	u8  rayKind, u32 stepCount per ray       (ray boundaries)
+//	u8  opKind[nOps], u32 opArg[nOps]        (ops arena, split SoA)
+//	u32 step[nSteps]                         (steps arena)
+//
+// The scene and BVH are not serialized: the scene library is addressed by
+// name and the BVH build is deterministic, so decode rebuilds both and
+// re-homes the traces into fresh arenas (the same three-allocation layout
+// compaction produces).
+type workloadCodec struct{}
+
+func init() { store.RegisterCodec(workloadCodec{}) }
+
+// Kind implements store.Codec.
+func (workloadCodec) Kind() string { return WorkloadCodecKind }
+
+// Encodes implements store.Codec.
+func (workloadCodec) Encodes(v any) bool {
+	_, ok := v.(*Workload)
+	return ok
+}
+
+// Encode implements store.Codec. It walks Traces rather than the arenas so
+// hand-assembled workloads (nil arenas) serialize identically.
+func (workloadCodec) Encode(v any) ([]byte, error) {
+	w, ok := v.(*Workload)
+	if !ok {
+		return nil, fmt.Errorf("rt: codec cannot encode %T", v)
+	}
+	if w.Scene == nil || w.Scene.Name == "" {
+		return nil, fmt.Errorf("rt: cannot serialize a workload without a named library scene")
+	}
+	if _, err := scene.ByName(w.Scene.Name); err != nil {
+		return nil, fmt.Errorf("rt: workload scene not in the library: %w", err)
+	}
+	if len(w.Traces) != w.Width*w.Height || len(w.Cost) != w.Width*w.Height {
+		return nil, fmt.Errorf("rt: workload shape %dx%d disagrees with %d traces / %d costs",
+			w.Width, w.Height, len(w.Traces), len(w.Cost))
+	}
+	var nOps, nRays, nSteps int
+	for i := range w.Traces {
+		t := &w.Traces[i]
+		nOps += len(t.Ops)
+		nRays += len(t.Rays)
+		for j := range t.Rays {
+			nSteps += len(t.Rays[j].Steps)
+		}
+	}
+
+	size := 4 + len(w.Scene.Name) + 3*4 + // name + dims
+		len(w.Cost)*8 + 3*8 + // cost + totals
+		len(w.Traces)*8 + nRays*5 + // boundaries
+		nOps*5 + nSteps*4 // arenas
+	buf := make([]byte, 0, size)
+	le := binary.LittleEndian
+
+	buf = le.AppendUint32(buf, uint32(len(w.Scene.Name)))
+	buf = append(buf, w.Scene.Name...)
+	buf = le.AppendUint32(buf, uint32(w.Width))
+	buf = le.AppendUint32(buf, uint32(w.Height))
+	buf = le.AppendUint32(buf, uint32(w.SPP))
+	for _, c := range w.Cost {
+		buf = le.AppendUint64(buf, math.Float64bits(c))
+	}
+	buf = le.AppendUint64(buf, uint64(nOps))
+	buf = le.AppendUint64(buf, uint64(nRays))
+	buf = le.AppendUint64(buf, uint64(nSteps))
+	for i := range w.Traces {
+		t := &w.Traces[i]
+		buf = le.AppendUint32(buf, uint32(len(t.Ops)))
+		buf = le.AppendUint32(buf, uint32(len(t.Rays)))
+	}
+	for i := range w.Traces {
+		for j := range w.Traces[i].Rays {
+			r := &w.Traces[i].Rays[j]
+			buf = append(buf, byte(r.Kind))
+			buf = le.AppendUint32(buf, uint32(len(r.Steps)))
+		}
+	}
+	for i := range w.Traces {
+		for _, op := range w.Traces[i].Ops {
+			buf = append(buf, byte(op.Kind))
+		}
+	}
+	for i := range w.Traces {
+		for _, op := range w.Traces[i].Ops {
+			buf = le.AppendUint32(buf, op.Arg)
+		}
+	}
+	for i := range w.Traces {
+		for j := range w.Traces[i].Rays {
+			for _, s := range w.Traces[i].Rays[j].Steps {
+				buf = le.AppendUint32(buf, s)
+			}
+		}
+	}
+	return buf, nil
+}
+
+// wlReader is a bounds-checked little-endian cursor: every short read is
+// an error, so a payload that passed the disk tier's checksum but was
+// written corrupt still fails loudly into the quarantine path.
+type wlReader struct {
+	data []byte
+	off  int
+}
+
+func (r *wlReader) need(n int) ([]byte, error) {
+	if n < 0 || r.off+n > len(r.data) || r.off+n < r.off {
+		return nil, fmt.Errorf("rt: workload payload truncated at offset %d (need %d of %d)",
+			r.off, n, len(r.data))
+	}
+	b := r.data[r.off : r.off+n]
+	r.off += n
+	return b, nil
+}
+
+func (r *wlReader) u8() (byte, error) {
+	b, err := r.need(1)
+	if err != nil {
+		return 0, err
+	}
+	return b[0], nil
+}
+
+func (r *wlReader) u32() (uint32, error) {
+	b, err := r.need(4)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(b), nil
+}
+
+func (r *wlReader) u64() (uint64, error) {
+	b, err := r.need(8)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(b), nil
+}
+
+// decodeDims caps the sanity bounds of the header counts so a corrupt
+// payload cannot trigger a multi-gigabyte allocation before the per-field
+// bounds checks run.
+const wlMaxDim = 1 << 16
+
+// Decode implements store.Codec: it parses the payload, rebuilds the
+// scene and BVH from the library (both deterministic), and re-homes every
+// trace into fresh arenas via three-index slicing, yielding the same
+// zero-copy layout BuildWorkload's compaction produces.
+func (workloadCodec) Decode(data []byte) (any, int64, error) {
+	r := &wlReader{data: data}
+	nameLen, err := r.u32()
+	if err != nil {
+		return nil, 0, err
+	}
+	nameBytes, err := r.need(int(nameLen))
+	if err != nil {
+		return nil, 0, err
+	}
+	name := string(nameBytes)
+	width, err := r.u32()
+	if err != nil {
+		return nil, 0, err
+	}
+	height, err := r.u32()
+	if err != nil {
+		return nil, 0, err
+	}
+	spp, err := r.u32()
+	if err != nil {
+		return nil, 0, err
+	}
+	if width == 0 || height == 0 || spp == 0 || width > wlMaxDim || height > wlMaxDim {
+		return nil, 0, fmt.Errorf("rt: workload dims %dx%d spp=%d out of range", width, height, spp)
+	}
+	pixels := int(width) * int(height)
+
+	s, err := scene.ByName(name)
+	if err != nil {
+		return nil, 0, fmt.Errorf("rt: workload scene %q: %w", name, err)
+	}
+	accel, err := bvh.Build(s, bvh.DefaultOptions())
+	if err != nil {
+		return nil, 0, err
+	}
+
+	cost := make([]float64, pixels)
+	for i := range cost {
+		bits, err := r.u64()
+		if err != nil {
+			return nil, 0, err
+		}
+		cost[i] = math.Float64frombits(bits)
+	}
+
+	nOps64, err := r.u64()
+	if err != nil {
+		return nil, 0, err
+	}
+	nRays64, err := r.u64()
+	if err != nil {
+		return nil, 0, err
+	}
+	nSteps64, err := r.u64()
+	if err != nil {
+		return nil, 0, err
+	}
+	// The remaining payload must hold at least one byte per declared
+	// element; this rejects absurd totals before allocation.
+	if nOps64*5+nRays64*5+nSteps64*4 > uint64(len(data)) {
+		return nil, 0, fmt.Errorf("rt: workload totals (%d ops, %d rays, %d steps) exceed payload", nOps64, nRays64, nSteps64)
+	}
+	nOps, nRays, nSteps := int(nOps64), int(nRays64), int(nSteps64)
+
+	opCounts := make([]uint32, pixels)
+	rayCounts := make([]uint32, pixels)
+	var sumOps, sumRays uint64
+	for i := 0; i < pixels; i++ {
+		if opCounts[i], err = r.u32(); err != nil {
+			return nil, 0, err
+		}
+		if rayCounts[i], err = r.u32(); err != nil {
+			return nil, 0, err
+		}
+		sumOps += uint64(opCounts[i])
+		sumRays += uint64(rayCounts[i])
+	}
+	if sumOps != nOps64 || sumRays != nRays64 {
+		return nil, 0, fmt.Errorf("rt: trace boundaries (%d ops, %d rays) disagree with totals (%d, %d)",
+			sumOps, sumRays, nOps64, nRays64)
+	}
+
+	rays := make([]RayTrace, nRays)
+	stepCounts := make([]uint32, nRays)
+	var sumSteps uint64
+	for i := 0; i < nRays; i++ {
+		kind, err := r.u8()
+		if err != nil {
+			return nil, 0, err
+		}
+		if RayKind(kind) > RayBounce {
+			return nil, 0, fmt.Errorf("rt: ray %d has unknown kind %d", i, kind)
+		}
+		rays[i].Kind = RayKind(kind)
+		if stepCounts[i], err = r.u32(); err != nil {
+			return nil, 0, err
+		}
+		sumSteps += uint64(stepCounts[i])
+	}
+	if sumSteps != nSteps64 {
+		return nil, 0, fmt.Errorf("rt: ray boundaries (%d steps) disagree with total %d", sumSteps, nSteps64)
+	}
+
+	ops := make([]Op, nOps)
+	for i := 0; i < nOps; i++ {
+		kind, err := r.u8()
+		if err != nil {
+			return nil, 0, err
+		}
+		if OpKind(kind) > OpTrace {
+			return nil, 0, fmt.Errorf("rt: op %d has unknown kind %d", i, kind)
+		}
+		ops[i].Kind = OpKind(kind)
+	}
+	for i := 0; i < nOps; i++ {
+		if ops[i].Arg, err = r.u32(); err != nil {
+			return nil, 0, err
+		}
+	}
+	steps := make([]uint32, nSteps)
+	for i := 0; i < nSteps; i++ {
+		if steps[i], err = r.u32(); err != nil {
+			return nil, 0, err
+		}
+	}
+	if r.off != len(data) {
+		return nil, 0, fmt.Errorf("rt: %d trailing bytes after workload payload", len(data)-r.off)
+	}
+
+	// Re-home: the flat arenas are carved back into per-trace slices with
+	// capped capacity, exactly like Workload.compact.
+	w := &Workload{
+		Scene:      s,
+		BVH:        accel,
+		Width:      int(width),
+		Height:     int(height),
+		SPP:        int(spp),
+		Traces:     make([]ThreadTrace, pixels),
+		Cost:       cost,
+		opsArena:   ops,
+		raysArena:  rays,
+		stepsArena: steps,
+	}
+	opOff, rayOff, stepOff := 0, 0, 0
+	for i := 0; i < pixels; i++ {
+		oEnd := opOff + int(opCounts[i])
+		rEnd := rayOff + int(rayCounts[i])
+		w.Traces[i].Ops = ops[opOff:oEnd:oEnd]
+		w.Traces[i].Rays = rays[rayOff:rEnd:rEnd]
+		opOff, rayOff = oEnd, rEnd
+	}
+	for i := 0; i < nRays; i++ {
+		end := stepOff + int(stepCounts[i])
+		rays[i].Steps = steps[stepOff:end:end]
+		stepOff = end
+	}
+	return w, w.SizeBytes(), nil
+}

@@ -1,0 +1,135 @@
+package rt
+
+import (
+	"bytes"
+	"testing"
+
+	"zatel/internal/scene"
+)
+
+func buildCodecWorkload(t *testing.T) *Workload {
+	t.Helper()
+	s, err := scene.ByName("SPRNG")
+	if err != nil {
+		t.Fatalf("scene: %v", err)
+	}
+	w, err := BuildWorkload(s, 16, 16, 1)
+	if err != nil {
+		t.Fatalf("BuildWorkload: %v", err)
+	}
+	return w
+}
+
+func workloadsEqual(t *testing.T, a, b *Workload) {
+	t.Helper()
+	if a.Width != b.Width || a.Height != b.Height || a.SPP != b.SPP {
+		t.Fatalf("shape mismatch: %dx%d spp=%d vs %dx%d spp=%d",
+			a.Width, a.Height, a.SPP, b.Width, b.Height, b.SPP)
+	}
+	if a.Scene.Name != b.Scene.Name {
+		t.Fatalf("scene mismatch: %q vs %q", a.Scene.Name, b.Scene.Name)
+	}
+	if len(a.Cost) != len(b.Cost) {
+		t.Fatalf("cost length mismatch: %d vs %d", len(a.Cost), len(b.Cost))
+	}
+	for i := range a.Cost {
+		if a.Cost[i] != b.Cost[i] {
+			t.Fatalf("cost[%d] mismatch: %v vs %v", i, a.Cost[i], b.Cost[i])
+		}
+	}
+	if len(a.Traces) != len(b.Traces) {
+		t.Fatalf("trace count mismatch: %d vs %d", len(a.Traces), len(b.Traces))
+	}
+	for i := range a.Traces {
+		ta, tb := &a.Traces[i], &b.Traces[i]
+		if len(ta.Ops) != len(tb.Ops) || len(ta.Rays) != len(tb.Rays) {
+			t.Fatalf("trace %d shape mismatch: %d/%d ops, %d/%d rays",
+				i, len(ta.Ops), len(tb.Ops), len(ta.Rays), len(tb.Rays))
+		}
+		for j := range ta.Ops {
+			if ta.Ops[j] != tb.Ops[j] {
+				t.Fatalf("trace %d op %d mismatch: %+v vs %+v", i, j, ta.Ops[j], tb.Ops[j])
+			}
+		}
+		for j := range ta.Rays {
+			ra, rb := &ta.Rays[j], &tb.Rays[j]
+			if ra.Kind != rb.Kind || len(ra.Steps) != len(rb.Steps) {
+				t.Fatalf("trace %d ray %d mismatch: kind %d/%d, %d/%d steps",
+					i, j, ra.Kind, rb.Kind, len(ra.Steps), len(rb.Steps))
+			}
+			for k := range ra.Steps {
+				if ra.Steps[k] != rb.Steps[k] {
+					t.Fatalf("trace %d ray %d step %d mismatch", i, j, k)
+				}
+			}
+		}
+	}
+}
+
+func TestWorkloadCodecRoundTrip(t *testing.T) {
+	w := buildCodecWorkload(t)
+	c := workloadCodec{}
+	if !c.Encodes(w) {
+		t.Fatal("Encodes(*Workload) = false")
+	}
+	data, err := c.Encode(w)
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	v, size, err := c.Decode(data)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	got := v.(*Workload)
+	workloadsEqual(t, w, got)
+	if got.BVH == nil {
+		t.Fatal("decoded workload has no BVH")
+	}
+	if size != got.SizeBytes() {
+		t.Fatalf("reported size %d != SizeBytes %d", size, got.SizeBytes())
+	}
+
+	// The decoded workload must re-encode to the identical payload: the
+	// format is canonical, so disk entries stay byte-stable across a
+	// round trip (and therefore digest-stable).
+	again, err := c.Encode(got)
+	if err != nil {
+		t.Fatalf("re-Encode: %v", err)
+	}
+	if !bytes.Equal(data, again) {
+		t.Fatal("re-encoded payload differs from original")
+	}
+}
+
+func TestWorkloadCodecRejectsTruncation(t *testing.T) {
+	w := buildCodecWorkload(t)
+	c := workloadCodec{}
+	data, err := c.Encode(w)
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	// Every strict prefix must fail loudly, never mis-decode or panic.
+	for _, n := range []int{0, 3, 4, 10, len(data) / 2, len(data) - 1} {
+		if _, _, err := c.Decode(data[:n]); err == nil {
+			t.Fatalf("Decode of %d/%d bytes succeeded", n, len(data))
+		}
+	}
+	// Trailing garbage is also a decode error.
+	if _, _, err := c.Decode(append(append([]byte{}, data...), 0xFF)); err == nil {
+		t.Fatal("Decode with trailing byte succeeded")
+	}
+}
+
+func TestWorkloadCodecRejectsUnknownScene(t *testing.T) {
+	w := buildCodecWorkload(t)
+	c := workloadCodec{}
+	data, err := c.Encode(w)
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	// Corrupt the scene name in place (nameLen stays valid).
+	data[4] = 'x'
+	if _, _, err := c.Decode(data); err == nil {
+		t.Fatal("Decode with unknown scene name succeeded")
+	}
+}

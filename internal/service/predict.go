@@ -92,8 +92,9 @@ type PredictResponse struct {
 	// identical requests report identical keys.
 	Key string `json:"key"`
 	// Cache is how this request was served: "miss" (this request built),
-	// "hit" (already resident) or "coalesced" (joined another request's
-	// in-flight build).
+	// "hit" (already resident), "coalesced" (joined another request's
+	// in-flight build) or "disk" (loaded and integrity-verified from the
+	// persistent tier, e.g. after a restart).
 	Cache     string             `json:"cache"`
 	Predicted map[string]float64 `json:"predicted"`
 	// CILow/CIHigh bound each metric's confidence interval and Replicates

@@ -283,17 +283,39 @@ func (s *Server) handleConfigs(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"configs": infos})
 }
 
+// handleHealthz reports liveness plus the state an operator triages first:
+// memory-store occupancy and the disk tier's mode. "degraded" in the disk
+// block means the tier stopped persisting (full or failing disk) and the
+// server is running memory-only — still healthy for serving, but worth an
+// alert (see OPERATIONS.md).
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	c := s.st.Snapshot()
+	body := map[string]any{
+		"uptime_s": time.Since(s.start).Seconds(),
+		"store": map[string]any{
+			"entries":   c.Entries,
+			"bytes":     c.Bytes,
+			"max_bytes": c.MaxBytes,
+		},
+	}
+	disk := map[string]any{"state": "disabled"}
+	if dc, ok := s.st.DiskCounters(); ok {
+		disk["state"] = dc.State
+		disk["entries"] = dc.Entries
+		disk["bytes"] = dc.Bytes
+		disk["max_bytes"] = dc.MaxBytes
+		disk["quarantined"] = dc.Quarantined
+	}
+	body["disk"] = disk
 	if s.draining.Load() {
+		body["status"] = "draining"
 		s.countRequest("healthz", http.StatusServiceUnavailable)
-		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining"})
+		writeJSON(w, http.StatusServiceUnavailable, body)
 		return
 	}
+	body["status"] = "ok"
 	s.countRequest("healthz", http.StatusOK)
-	writeJSON(w, http.StatusOK, map[string]any{
-		"status":   "ok",
-		"uptime_s": time.Since(s.start).Seconds(),
-	})
+	writeJSON(w, http.StatusOK, body)
 }
 
 // handleMetrics is the Prometheus text exposition: store counters, admission
@@ -323,6 +345,27 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	gauge("zatel_store_bytes", c.Bytes, "resident artifact bytes")
 	gauge("zatel_store_max_bytes", c.MaxBytes, "artifact byte budget (0 = unbounded)")
 	gauge("zatel_store_inflight", int64(c.Inflight), "artifact builds executing")
+
+	// Disk tier. zatel_store_disk_enabled stays 0 when no -store-dir was
+	// given so dashboards can distinguish "off" from "degraded".
+	if dc, ok := s.st.DiskCounters(); ok {
+		gauge("zatel_store_disk_enabled", 1, "1 when a disk tier is attached")
+		gauge("zatel_store_disk_degraded", boolGauge(dc.State == store.DiskDegraded.String()), "1 while the disk tier sheds writes (memory-only)")
+		counter("zatel_store_disk_hits_total", dc.Hits, "lookups served from the disk tier")
+		counter("zatel_store_disk_misses_total", dc.Misses, "disk-tier lookups that found no valid entry")
+		counter("zatel_store_disk_read_errors_total", dc.ReadErrors, "disk-tier read failures (I/O, not corruption)")
+		counter("zatel_store_disk_writes_total", dc.Writes, "entries persisted by the write-behind queue")
+		counter("zatel_store_disk_write_errors_total", dc.WriteErrors, "failed disk-tier writes")
+		counter("zatel_store_disk_writes_dropped_total", dc.WritesDropped, "writes shed while degraded or queue-full")
+		counter("zatel_store_disk_quarantined_total", dc.Quarantined, "corrupt entries renamed aside")
+		counter("zatel_store_disk_evictions_total", dc.Evictions, "disk entries evicted for the byte budget")
+		counter("zatel_store_disk_degraded_total", dc.DegradedCount, "transitions into degraded mode")
+		gauge("zatel_store_disk_entries", int64(dc.Entries), "valid entries on disk")
+		gauge("zatel_store_disk_bytes", dc.Bytes, "bytes of valid entries on disk")
+		gauge("zatel_store_disk_max_bytes", dc.MaxBytes, "disk byte budget (0 = unbounded)")
+	} else {
+		gauge("zatel_store_disk_enabled", 0, "1 when a disk tier is attached")
+	}
 
 	gauge("zatel_predict_running", s.running.Load(), "predictions building now")
 	gauge("zatel_predict_queued", s.queued.Load(), "builders waiting for an admission slot")

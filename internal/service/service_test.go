@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"zatel/internal/core"
+	"zatel/internal/faults"
 	"zatel/internal/store"
 )
 
@@ -450,4 +451,117 @@ func TestAdmissionControl(t *testing.T) {
 		t.Errorf("cancelled queued acquire: %v", err)
 	}
 	s.release()
+}
+
+// healthzBody fetches and decodes /healthz regardless of status code.
+func healthzBody(t *testing.T, url string) (int, map[string]any) {
+	t.Helper()
+	resp, err := http.Get(url + "/healthz")
+	if err != nil {
+		t.Fatalf("/healthz: %v", err)
+	}
+	defer resp.Body.Close()
+	var body map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatalf("decode /healthz: %v", err)
+	}
+	return resp.StatusCode, body
+}
+
+// TestHealthzReportsStoreAndDisk: /healthz carries memory-store occupancy
+// and the disk tier's state — "disabled" without a tier, "ok" with one.
+func TestHealthzReportsStoreAndDisk(t *testing.T) {
+	st := store.New(1 << 20)
+	_, ts := newTestServer(t, Config{Store: st})
+
+	code, body := healthzBody(t, ts.URL)
+	if code != http.StatusOK {
+		t.Fatalf("healthz status %d", code)
+	}
+	sb, ok := body["store"].(map[string]any)
+	if !ok {
+		t.Fatalf("healthz missing store block: %v", body)
+	}
+	if sb["max_bytes"].(float64) != 1<<20 {
+		t.Errorf("store.max_bytes = %v, want %d", sb["max_bytes"], 1<<20)
+	}
+	db, ok := body["disk"].(map[string]any)
+	if !ok {
+		t.Fatalf("healthz missing disk block: %v", body)
+	}
+	if db["state"] != "disabled" {
+		t.Errorf("disk.state = %v, want disabled", db["state"])
+	}
+
+	d, err := store.OpenDisk(store.DiskConfig{Dir: t.TempDir(), MaxBytes: 1 << 20})
+	if err != nil {
+		t.Fatalf("OpenDisk: %v", err)
+	}
+	defer d.Close()
+	st.AttachDisk(d)
+	_, body = healthzBody(t, ts.URL)
+	db = body["disk"].(map[string]any)
+	if db["state"] != "ok" {
+		t.Errorf("disk.state = %v, want ok", db["state"])
+	}
+	if _, ok := db["max_bytes"]; !ok {
+		t.Errorf("disk block missing max_bytes: %v", db)
+	}
+}
+
+// TestPredictServesWhileDiskDegraded: a disk tier on a "full" filesystem
+// (every write draws ENOSPC) flips to degraded — and predictions keep
+// answering 200 from the memory tier, which is the whole point of the
+// fail-soft design. /healthz and /metrics both surface the degradation.
+func TestPredictServesWhileDiskDegraded(t *testing.T) {
+	st := store.New(0)
+	ffs, err := faults.NewFaultFS(nil, faults.FSConfig{ENOSPCRate: 1, Seed: 7})
+	if err != nil {
+		t.Fatalf("NewFaultFS: %v", err)
+	}
+	d, err := store.OpenDisk(store.DiskConfig{Dir: t.TempDir(), FS: ffs})
+	if err != nil {
+		t.Fatalf("OpenDisk: %v", err)
+	}
+	defer d.Close()
+	st.AttachDisk(d)
+	_, ts := newTestServer(t, Config{Store: st})
+
+	resp, pr, raw := postPredict(t, ts.URL, `{"scene":"SPRNG","config":"mobile","width":36,"height":36,"spp":1}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("predict with failing disk: status %d\n%s", resp.StatusCode, raw)
+	}
+	if pr.Cache != "miss" {
+		t.Errorf("cache = %q, want miss", pr.Cache)
+	}
+	d.Flush()
+	if s := d.State(); s != store.DiskDegraded {
+		t.Fatalf("disk state = %v, want degraded", s)
+	}
+
+	_, body := healthzBody(t, ts.URL)
+	if db := body["disk"].(map[string]any); db["state"] != "degraded" {
+		t.Errorf("healthz disk.state = %v, want degraded", db["state"])
+	}
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatalf("/metrics: %v", err)
+	}
+	mb, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	for _, want := range []string{
+		"zatel_store_disk_enabled 1",
+		"zatel_store_disk_degraded 1",
+		"zatel_store_disk_write_errors_total",
+	} {
+		if !strings.Contains(string(mb), want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+
+	// The prediction itself is still served warm from memory.
+	resp2, warm, _ := postPredict(t, ts.URL, `{"scene":"SPRNG","config":"mobile","width":36,"height":36,"spp":1}`)
+	if resp2.StatusCode != http.StatusOK || warm.Cache != "hit" {
+		t.Errorf("warm repeat: status %d cache %q", resp2.StatusCode, warm.Cache)
+	}
 }

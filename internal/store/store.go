@@ -4,9 +4,12 @@ import (
 	"container/list"
 	"context"
 	"fmt"
+	"log/slog"
+	"runtime/debug"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"zatel/internal/obs"
 )
@@ -17,20 +20,25 @@ type Outcome int
 const (
 	// Miss: this call ran the build itself.
 	Miss Outcome = iota
-	// Hit: the artifact was already resident.
+	// Hit: the artifact was already resident in memory.
 	Hit
 	// Coalesced: another call was already building the same key; this one
 	// waited and shared the outcome without running the build.
 	Coalesced
+	// DiskHit: the artifact was loaded (and integrity-verified) from the
+	// disk tier instead of being rebuilt, and is now memory-resident.
+	DiskHit
 )
 
-// String implements fmt.Stringer ("miss", "hit", "coalesced").
+// String implements fmt.Stringer ("miss", "hit", "coalesced", "disk").
 func (o Outcome) String() string {
 	switch o {
 	case Hit:
 		return "hit"
 	case Coalesced:
 		return "coalesced"
+	case DiskHit:
+		return "disk"
 	default:
 		return "miss"
 	}
@@ -52,6 +60,9 @@ type Counters struct {
 	BuildErrors uint64
 	// Evictions counts artifacts dropped to stay within MaxBytes.
 	Evictions uint64
+	// DiskHits counts lookups served from the disk tier (also reflected in
+	// the disk tier's own counters).
+	DiskHits uint64
 	// Inflight is the number of builds currently executing.
 	Inflight int
 	// Entries and Bytes describe current residency; MaxBytes is the budget
@@ -88,7 +99,11 @@ type Store struct {
 
 	hits, misses, coalesced uint64
 	builds, buildErrors     uint64
-	evictions               uint64
+	evictions, diskHits     uint64
+
+	// disk is the optional persistent second tier (nil = memory-only).
+	// Atomic so AttachDisk is safe against concurrent GetOrBuild.
+	disk atomic.Pointer[Disk]
 }
 
 // New returns an empty store that evicts least-recently-used artifacts once
@@ -163,6 +178,29 @@ func (s *Store) GetOrBuild(ctx context.Context, key Digest, build func(ctx conte
 	}
 	f := &flight{done: make(chan struct{})}
 	s.inflight[key] = f
+	s.mu.Unlock()
+
+	// Disk tier: checked inside the flight so concurrent callers coalesce
+	// onto one disk read exactly as they would onto one build. A disk hit
+	// is re-admitted to the memory tier; any invalid entry was quarantined
+	// by the tier itself and reads as a miss here.
+	if d := s.disk.Load(); d != nil {
+		if v, size, ok := d.Get(key); ok {
+			s.mu.Lock()
+			delete(s.inflight, key)
+			s.diskHits++
+			s.insertLocked(key, v, size)
+			s.mu.Unlock()
+			f.value = v
+			close(f.done)
+			_, sp := obs.StartSpan(ctx, "store.diskhit")
+			sp.SetAttr("key", key.Short())
+			sp.End()
+			return v, DiskHit, nil
+		}
+	}
+
+	s.mu.Lock()
 	s.misses++
 	s.builds++
 	s.mu.Unlock()
@@ -196,15 +234,43 @@ func (s *Store) GetOrBuild(ctx context.Context, key Digest, build func(ctx conte
 	if err != nil {
 		return nil, Miss, err
 	}
+	// Write-behind to the disk tier: never blocks the caller; a degraded
+	// or saturated tier sheds the write and the artifact stays memory-only.
+	if d := s.disk.Load(); d != nil {
+		d.Put(key, v)
+	}
 	return v, Miss, nil
+}
+
+// AttachDisk installs d as the store's persistent second tier: memory
+// misses consult it before building, and successful builds are persisted
+// through its write-behind queue. Pass nil to detach.
+func (s *Store) AttachDisk(d *Disk) { s.disk.Store(d) }
+
+// Disk returns the attached disk tier (nil = memory-only).
+func (s *Store) Disk() *Disk { return s.disk.Load() }
+
+// DiskCounters snapshots the attached disk tier's counters; ok is false
+// when no tier is attached.
+func (s *Store) DiskCounters() (DiskCounters, bool) {
+	d := s.disk.Load()
+	if d == nil {
+		return DiskCounters{}, false
+	}
+	return d.Counters(), true
 }
 
 // runBuild invokes build with panic capture, mirroring the runner pool's
 // fail-soft contract: one bad artifact build must not take down a server.
+// The builder's stack is captured at the recovery point — the error alone
+// would lose the frames that identify which builder blew up — logged, and
+// carried in the returned error for callers that surface it.
 func runBuild(ctx context.Context, build func(ctx context.Context) (any, int64, error)) (v any, size int64, err error) {
 	defer func() {
 		if r := recover(); r != nil {
-			v, size, err = nil, 0, fmt.Errorf("store: build panicked: %v", r)
+			stack := debug.Stack()
+			slog.Error("store: build panicked", "panic", r, "stack", string(stack))
+			v, size, err = nil, 0, fmt.Errorf("store: build panicked: %v\n%s", r, stack)
 		}
 	}()
 	return build(ctx)
@@ -271,6 +337,7 @@ func (s *Store) Snapshot() Counters {
 		Builds:      s.builds,
 		BuildErrors: s.buildErrors,
 		Evictions:   s.evictions,
+		DiskHits:    s.diskHits,
 		Inflight:    len(s.inflight),
 		Entries:     s.ll.Len(),
 		Bytes:       s.bytes,

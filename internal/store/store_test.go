@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -221,8 +222,13 @@ func TestBuildPanicBecomesError(t *testing.T) {
 	s := New(0)
 	_, _, err := s.GetOrBuild(context.Background(), key(1),
 		func(context.Context) (any, int64, error) { panic("kaboom") })
-	if err == nil || err.Error() != "store: build panicked: kaboom" {
+	if err == nil || !strings.HasPrefix(err.Error(), "store: build panicked: kaboom") {
 		t.Errorf("panic surfaced as %v", err)
+	}
+	// The error must carry the builder's stack — without it there is no way
+	// to tell which of many registered builders blew up in production logs.
+	if err == nil || !strings.Contains(err.Error(), "TestBuildPanicBecomesError") {
+		t.Errorf("panic error lost the builder stack: %v", err)
 	}
 	if s.Contains(key(1)) {
 		t.Error("panicked build cached an artifact")
@@ -321,5 +327,54 @@ func TestSizerFallback(t *testing.T) {
 	}
 	if c := s.Snapshot(); c.Bytes != 10+999 {
 		t.Errorf("bytes = %d, want 1009 after Sizer fallback", c.Bytes)
+	}
+}
+
+// TestEvictionRaceRebuilds hammers one store with concurrent GetOrBuild
+// calls for keys that constantly evict each other (the budget holds only
+// one of them at a time). Run under -race, it proves an evicted key's
+// concurrent readers either coalesce onto a rebuild or rebuild themselves —
+// and that every caller always observes that key's full, correct artifact,
+// never a stale or partially-evicted value.
+func TestEvictionRaceRebuilds(t *testing.T) {
+	s := New(15) // one 10-byte artifact fits; two never do
+	ctx := context.Background()
+
+	const (
+		workers = 8
+		rounds  = 200
+		nKeys   = 3
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				i := (w + r) % nKeys
+				want := fmt.Sprintf("artifact-%d", i)
+				v, _, err := s.GetOrBuild(ctx, key(i), constBuild(want, 10))
+				if err != nil {
+					t.Errorf("worker %d round %d: %v", w, r, err)
+					return
+				}
+				if got := v.(string); got != want {
+					t.Errorf("worker %d round %d: got %q, want %q", w, r, got, want)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	c := s.Snapshot()
+	if c.Evictions == 0 {
+		t.Error("no evictions happened; the race never exercised the rebuild path")
+	}
+	if c.Bytes > 15 {
+		t.Errorf("resident bytes %d exceed the budget", c.Bytes)
+	}
+	if c.Inflight != 0 {
+		t.Errorf("%d flights leaked", c.Inflight)
 	}
 }

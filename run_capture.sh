@@ -10,4 +10,6 @@ ZATEL_BENCH_GPU_JSON=/root/repo/BENCH_gpu.json go test -run 'TestGPUHotPathSpeed
 echo "BENCH_GPU_EXIT=$?" >> /root/repo/bench_gpu_output.txt
 ZATEL_BENCH_SAMPLING_JSON=/root/repo/BENCH_sampling.json go test -run 'TestAdaptiveSamplingBench' -count=1 -timeout 10m . > /root/repo/bench_sampling_output.txt 2>&1
 echo "BENCH_SAMPLING_EXIT=$?" >> /root/repo/bench_sampling_output.txt
+ZATEL_BENCH_DISK_JSON=/root/repo/BENCH_disk.json go test -run 'TestDiskWarmSpeedup' -count=1 -timeout 10m . > /root/repo/bench_disk_output.txt 2>&1
+echo "BENCH_DISK_EXIT=$?" >> /root/repo/bench_disk_output.txt
 touch /root/repo/.capture_done

@@ -1,8 +1,10 @@
 #!/bin/sh
-# zateld smoke test: boot the daemon, serve a cold prediction, assert the
-# identical repeat is served as a store hit (response field and /metrics
-# counter), check the observability surface (request ids, ?trace=1, pprof,
-# per-step histograms), then SIGTERM-drain and require a clean exit.
+# zateld smoke test: boot the daemon with a disk tier, serve a cold
+# prediction, assert the identical repeat is served as a store hit (response
+# field and /metrics counter), check the observability surface (request ids,
+# ?trace=1, pprof, per-step histograms), SIGTERM-drain, then RESTART the
+# daemon on the same -store-dir and assert the same request is served warm
+# from disk ("cache": "disk") — the cross-restart persistence promise.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -17,19 +19,28 @@ cleanup() {
 trap cleanup EXIT
 
 go build -o "$TMP/zateld" ./cmd/zateld
-"$TMP/zateld" -addr "$ADDR" -debug-addr "$DEBUG_ADDR" -store-size 256MiB >"$TMP/zateld.log" 2>&1 &
-PID=$!
 
-i=0
-until curl -fsS "http://$ADDR/healthz" >/dev/null 2>&1; do
-	i=$((i + 1))
-	if [ "$i" -ge 100 ]; then
-		echo "smoke: zateld never became healthy" >&2
-		cat "$TMP/zateld.log" >&2
-		exit 1
-	fi
-	sleep 0.1
-done
+wait_healthy() {
+	i=0
+	until curl -fsS "http://$ADDR/healthz" >/dev/null 2>&1; do
+		i=$((i + 1))
+		if [ "$i" -ge 100 ]; then
+			echo "smoke: zateld never became healthy" >&2
+			cat "$TMP/zateld.log" >&2
+			exit 1
+		fi
+		sleep 0.1
+	done
+}
+
+"$TMP/zateld" -addr "$ADDR" -debug-addr "$DEBUG_ADDR" -store-size 256MiB \
+	-store-dir "$TMP/store" -disk-size 64MiB >"$TMP/zateld.log" 2>&1 &
+PID=$!
+wait_healthy
+
+# The disk tier must report healthy from the start.
+curl -fsS "http://$ADDR/healthz" | grep -q '"state": "ok"' \
+	|| { echo "smoke: /healthz missing disk state ok" >&2; exit 1; }
 
 BODY='{"scene":"SPRNG","config":"mobile","width":48,"height":48,"spp":1}'
 
@@ -67,6 +78,8 @@ echo "$METRICS" | grep -Eq 'zatel_step_latency_seconds_count\{step="step7_combin
 	|| { echo "smoke: step histograms saw no cold build" >&2; exit 1; }
 echo "$METRICS" | grep -q '^zatel_predictions_total' \
 	|| { echo "smoke: /metrics missing core pipeline counters" >&2; exit 1; }
+echo "$METRICS" | grep -q '^zatel_store_disk_enabled 1' \
+	|| { echo "smoke: /metrics shows no disk tier" >&2; exit 1; }
 
 kill -TERM "$PID"
 if ! wait "$PID"; then
@@ -75,4 +88,27 @@ if ! wait "$PID"; then
 	exit 1
 fi
 PID=""
-echo "zateld smoke: OK"
+
+# Restart on the same cache directory: the prediction built before the
+# drain must be served from the disk tier — integrity-verified, no rebuild.
+"$TMP/zateld" -addr "$ADDR" -store-size 256MiB \
+	-store-dir "$TMP/store" -disk-size 64MiB >"$TMP/zateld2.log" 2>&1 &
+PID=$!
+wait_healthy
+
+R3="$(curl -fsS -X POST -d "$BODY" "http://$ADDR/v1/predict")"
+echo "$R3" | grep -q '"cache": "disk"' \
+	|| { echo "smoke: post-restart predict not served from disk: $R3" >&2; cat "$TMP/zateld2.log" >&2; exit 1; }
+
+METRICS2="$(curl -fsS "http://$ADDR/metrics")"
+echo "$METRICS2" | grep -Eq '^zatel_store_disk_hits_total [1-9]' \
+	|| { echo "smoke: /metrics shows no disk hit after restart" >&2; exit 1; }
+
+kill -TERM "$PID"
+if ! wait "$PID"; then
+	echo "smoke: zateld second drain exited non-zero" >&2
+	cat "$TMP/zateld2.log" >&2
+	exit 1
+fi
+PID=""
+echo "zateld smoke: OK (including cross-restart disk warm hit)"
