@@ -1,0 +1,161 @@
+// Peer-fetch serving benchmark for the zateld cluster tier: two in-process
+// nodes on a consistent-hash ring, predictions built on the owning node,
+// then served to the other node over GET /v1/artifacts/{digest} — fetched,
+// integrity-verified, decoded and promoted instead of rebuilt.
+// TestClusterFetchSpeedup asserts the peer fetch beats the rebuild by at
+// least 2x and emits machine-readable numbers when ZATEL_BENCH_CLUSTER_JSON
+// names a path.
+package zatel_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http/httptest"
+	"os"
+	"testing"
+	"time"
+
+	"zatel/internal/cluster"
+	"zatel/internal/config"
+	"zatel/internal/core"
+	"zatel/internal/service"
+	"zatel/internal/store"
+)
+
+func clusterBenchBody(seed uint64) string {
+	return fmt.Sprintf(`{"scene":"PARK","config":"mobile","width":96,"height":96,"spp":1,"seed":%d}`, seed)
+}
+
+// clusterBenchKey mirrors the body above through the same cache-key
+// derivation the service uses; the benchmark asserts the server agrees.
+func clusterBenchKey(seed uint64) store.Digest {
+	return core.Options{
+		Config: config.MobileSoC(),
+		Scene:  "PARK",
+		Width:  96, Height: 96, SPP: 1,
+		Seed: seed,
+	}.CacheKey()
+}
+
+type benchNode struct {
+	url string
+	st  *store.Store
+	cl  *cluster.Cluster
+	ts  *httptest.Server
+}
+
+func newBenchFleet(tb testing.TB) (a, b *benchNode) {
+	tb.Helper()
+	var nodes [2]*benchNode
+	var listeners [2]net.Listener
+	var urls []string
+	for i := range listeners {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			tb.Fatalf("listen: %v", err)
+		}
+		listeners[i] = ln
+		urls = append(urls, "http://"+ln.Addr().String())
+	}
+	for i := range nodes {
+		cl, err := cluster.New(cluster.Config{
+			Self:         urls[i],
+			Name:         fmt.Sprintf("bench-%d", i),
+			Peers:        urls,
+			FetchTimeout: 5 * time.Second,
+			Probe:        cluster.ProbeConfig{Interval: -1},
+		})
+		if err != nil {
+			tb.Fatalf("cluster.New: %v", err)
+		}
+		tb.Cleanup(cl.Close)
+		st := store.New(0)
+		st.AttachPeers(cl)
+		srv := service.New(service.Config{Store: st, Cluster: cl, Parallel: true})
+		ts := httptest.NewUnstartedServer(srv.Handler())
+		ts.Listener.Close()
+		ts.Listener = listeners[i]
+		ts.Start()
+		tb.Cleanup(ts.Close)
+		nodes[i] = &benchNode{url: urls[i], st: st, cl: cl, ts: ts}
+	}
+	return nodes[0], nodes[1]
+}
+
+// TestClusterFetchSpeedup asserts the cluster tier's acceptance criterion:
+// serving a prediction by fetching the owner's verified artifact must be at
+// least 2x faster than rebuilding it. Several keys all owned by node A are
+// built there, then fetched once each by node B; both sides take the
+// minimum so scheduler noise cannot fail the run.
+func TestClusterFetchSpeedup(t *testing.T) {
+	a, b := newBenchFleet(t)
+
+	// Collect seeds whose keys node A owns, so every request to B exercises
+	// the non-owner peer-fetch path.
+	var seeds []uint64
+	for seed := uint64(500); seed < 1500 && len(seeds) < 5; seed++ {
+		if a.cl.Owner(clusterBenchKey(seed)) == a.url {
+			seeds = append(seeds, seed)
+		}
+	}
+	if len(seeds) < 5 {
+		t.Fatalf("only %d/5 seeds owned by node A", len(seeds))
+	}
+
+	rebuild := time.Duration(1<<62 - 1)
+	for _, seed := range seeds {
+		dur, pr := timedPredict(t, a.ts, clusterBenchBody(seed))
+		if pr.Cache != "miss" {
+			t.Fatalf("seed %d: owner served as %q, want miss", seed, pr.Cache)
+		}
+		if pr.Key != clusterBenchKey(seed).String() {
+			t.Fatalf("seed %d: server key %s != derived key %s; ownership search is broken",
+				seed, pr.Key, clusterBenchKey(seed))
+		}
+		if dur < rebuild {
+			rebuild = dur
+		}
+	}
+
+	peer := time.Duration(1<<62 - 1)
+	for _, seed := range seeds {
+		dur, pr := timedPredict(t, b.ts, clusterBenchBody(seed))
+		if pr.Cache != "peer" {
+			t.Fatalf("seed %d: non-owner served as %q, want peer", seed, pr.Cache)
+		}
+		if dur < peer {
+			peer = dur
+		}
+	}
+	if builds := b.st.Snapshot().Builds; builds != 0 {
+		t.Fatalf("node B ran %d builds, want 0", builds)
+	}
+
+	speedup := float64(rebuild) / float64(peer)
+	t.Logf("rebuild %v, peer fetch %v, speedup %.1fx", rebuild, peer, speedup)
+	if speedup < 2 {
+		t.Errorf("peer fetch only %.1fx faster than rebuild (want >= 2x): rebuild %v, peer %v",
+			speedup, rebuild, peer)
+	}
+
+	if path := os.Getenv("ZATEL_BENCH_CLUSTER_JSON"); path != "" {
+		out := map[string]any{
+			"scene":      "PARK",
+			"width":      96,
+			"height":     96,
+			"spp":        1,
+			"keys":       len(seeds),
+			"rebuild_ms": float64(rebuild) / 1e6,
+			"peer_ms":    float64(peer) / 1e6,
+			"speedup":    speedup,
+		}
+		data, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			t.Fatalf("marshal bench json: %v", err)
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			t.Fatalf("write %s: %v", path, err)
+		}
+	}
+}

@@ -45,11 +45,22 @@ go test -race -short -timeout 5m \
 	./internal/core/ ./internal/service/
 go test -race -short -timeout 5m -run 'TestAdaptiveSamplingBench' .
 
+# Short-mode cluster smoke: consistent-hash ring placement (golden table,
+# order independence, minimal movement), the peer artifact tier (fetch,
+# verification rejects, owner-down degradation, prober recovery), the
+# store's peer chain ordering, and the in-process two-node service tests —
+# all under the race detector (see DESIGN.md "Distribution").
+go test -race -short -timeout 5m \
+	-run 'Ring|Cluster|Peer|Prober|Proxy|Frame|TryGet|SingleNode' \
+	./internal/cluster/ ./internal/store/ ./internal/service/
+
 # Docs lint: every package documented, every exported metric name present in
 # OPERATIONS.md.
 ./scripts/lint_docs.sh
 
 # zateld end-to-end smoke: boot the daemon, serve a cold prediction, assert
 # the identical repeat is a store hit via /metrics, exercise request ids /
-# ?trace=1 / pprof / per-step histograms, SIGTERM-drain cleanly.
+# ?trace=1 / pprof / per-step histograms, SIGTERM-drain cleanly, restart to
+# prove the disk warm hit, then boot a two-node fleet and prove the peer
+# fetch path ("cache": "peer", zero non-owner builds).
 ./scripts/smoke_zateld.sh

@@ -10,6 +10,12 @@
 //	zateld -store-dir /var/cache/zatel -disk-size 4GiB   # persistent tier
 //	zateld -log-format json -debug-addr localhost:6060   # JSON logs + pprof
 //
+//	# Two-node fleet: each node names the full peer list and itself.
+//	zateld -addr :8080 -self http://10.0.0.1:8080 \
+//	    -peers http://10.0.0.1:8080,http://10.0.0.2:8080 -node-name a
+//	zateld -addr :8080 -self http://10.0.0.2:8080 \
+//	    -peers http://10.0.0.1:8080,http://10.0.0.2:8080 -node-name b
+//
 //	curl -s -X POST localhost:8080/v1/predict \
 //	    -d '{"scene":"PARK","config":"mobile","width":128,"height":128,"spp":2}'
 package main
@@ -25,9 +31,11 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
+	"zatel/internal/cluster"
 	"zatel/internal/obs"
 	"zatel/internal/service"
 	"zatel/internal/store"
@@ -49,6 +57,10 @@ func main() {
 		logLevel      = flag.String("log-level", "info", "log verbosity: debug, info, warn or error")
 		logFormat     = flag.String("log-format", "text", "log output format: text or json")
 		debugAddr     = flag.String("debug-addr", "", "separate listen address for /debug/pprof/ (empty = disabled)")
+		peers         = flag.String("peers", "", "comma-separated base URLs of every fleet member, self included (empty = single node)")
+		selfURL       = flag.String("self", "", "this node's base URL exactly as listed in -peers (required with -peers)")
+		nodeName      = flag.String("node-name", "", "display name for X-Zatel-Node and logs (default: -self URL or hostname)")
+		peerTimeout   = flag.Duration("peer-timeout", 2*time.Second, "deadline for one peer artifact fetch")
 	)
 	flag.Parse()
 
@@ -92,6 +104,28 @@ func main() {
 			"orphans_removed", dc.ScanOrphans, "quarantined", dc.Quarantined)
 	}
 
+	// Cluster mode: the static peer list becomes a consistent-hash ring,
+	// the store gains the peer fetch tier, and the service gains ownership
+	// routing. A single node (-peers empty) skips all of it.
+	var cl *cluster.Cluster
+	if *peers != "" {
+		if *selfURL == "" {
+			fatal(errors.New("-peers requires -self (this node's base URL)"))
+		}
+		cl, err = cluster.New(cluster.Config{
+			Self:         strings.TrimRight(*selfURL, "/"),
+			Name:         *nodeName,
+			Peers:        splitPeers(*peers),
+			FetchTimeout: *peerTimeout,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		st.AttachPeers(cl)
+		slog.Info("cluster enabled", "self", cl.Self(), "name", cl.Name(),
+			"peers", len(cl.Peers()), "fetch_timeout", *peerTimeout)
+	}
+
 	srv := service.New(service.Config{
 		Store:          st,
 		MaxConcurrent:  *maxConcurrent,
@@ -100,6 +134,8 @@ func main() {
 		MaxTimeout:     *maxTimeout,
 		Parallel:       *parallel,
 		Workers:        *workers,
+		Cluster:        cl,
+		NodeName:       *nodeName,
 	})
 	hs := &http.Server{
 		Addr:              *addr,
@@ -149,6 +185,9 @@ func main() {
 			slog.Error("drain incomplete", "err", err)
 			os.Exit(1)
 		}
+		if cl != nil {
+			cl.Close()
+		}
 		if disk != nil {
 			// Flush the write-behind queue so artifacts built moments before
 			// the signal are warm after the next start.
@@ -167,6 +206,19 @@ func main() {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "zateld:", err)
 	os.Exit(1)
+}
+
+// splitPeers parses the -peers list: comma-separated base URLs, blanks
+// skipped, trailing slashes dropped so ring identities compare exactly.
+func splitPeers(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		p = strings.TrimRight(strings.TrimSpace(p), "/")
+		if p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
 }
 
 // effectiveSlots reports the admission capacity for the startup log.

@@ -1,0 +1,332 @@
+// Package cluster turns N zateld processes into one cache-coherent
+// prediction fleet. A static peer list is hashed onto a consistent-hash
+// ring (ring.go): every artifact digest has exactly one owning node, and
+// membership changes move only the keys they must. On top of the ring sit
+// two cooperating mechanisms:
+//
+//   - The peer artifact tier (Fetch, installed via store.AttachPeers):
+//     when a node misses its memory and disk tiers, it asks the owning
+//     peer for the artifact by digest over GET /v1/artifacts/{digest},
+//     verifies the framed payload ("ZATL" magic + payload SHA-256),
+//     decodes it through the registered codec and promotes it locally.
+//     Anything built once anywhere in the fleet is fetched everywhere —
+//     gapis/gapir-style dedup economics.
+//
+//   - Request forwarding (ProxyPredict, used by the service's routing):
+//     a /v1/predict request landing on a non-owner whose fleet has not
+//     built the artifact yet is forwarded to the owner, so each key is
+//     built where it lives and concurrent requests fleet-wide coalesce
+//     onto the owner's singleflight.
+//
+// Every peer interaction is fail-soft: a dead, slow or corrupt peer is
+// marked unhealthy (prober.go re-probes it on seeded backoff) and the
+// caller degrades to a local build — peer trouble never surfaces as a
+// request error.
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"zatel/internal/obs"
+	"zatel/internal/store"
+)
+
+const (
+	// ForwardedHeader marks a proxied /v1/predict request with the name of
+	// the forwarding node; a node receiving it serves locally and never
+	// re-forwards, so routing cannot loop.
+	ForwardedHeader = "X-Zatel-Forwarded"
+	// ArtifactsPath is the peer artifact endpoint prefix; the artifact's
+	// full hex digest follows it.
+	ArtifactsPath = "/v1/artifacts/"
+
+	// maxArtifactBytes bounds a peer response read (1 GiB): a confused or
+	// malicious peer cannot OOM the fetcher before verification fails.
+	maxArtifactBytes = 1 << 30
+)
+
+// Config describes one node's view of the fleet.
+type Config struct {
+	// Self is this node's own base URL exactly as it appears in Peers
+	// (required) — it is the node's ring identity.
+	Self string
+	// Name is the node's display name for X-Zatel-Node and logs
+	// (default: Self).
+	Name string
+	// Peers lists every fleet member's base URL, Self included. Order is
+	// irrelevant; duplicates collapse.
+	Peers []string
+	// VNodes is the virtual-node count per peer (0 = DefaultVNodes).
+	VNodes int
+	// FetchTimeout bounds one peer artifact fetch (0 = 2s). Forwarded
+	// predict requests use the request's own deadline instead.
+	FetchTimeout time.Duration
+	// Probe tunes the health prober.
+	Probe ProbeConfig
+	// HTTPClient overrides the transport (nil = a dedicated client).
+	HTTPClient *http.Client
+}
+
+// Cluster is one node's membership, routing and peer-fetch state.
+// Construct with New; it is safe for concurrent use.
+type Cluster struct {
+	self, name   string
+	ring         *Ring
+	hc           *http.Client
+	fetchTimeout time.Duration
+	prober       *Prober
+
+	fetches, hits, misses       atomic.Uint64
+	errors, rejects, skipped    atomic.Uint64
+	proxied, proxyErrs, localFB atomic.Uint64
+
+	histFetch *obs.Histogram // successful peer artifact fetches
+	histProxy *obs.Histogram // successful forwarded predict requests
+}
+
+// New validates the configuration, builds the ring and starts the health
+// prober.
+func New(cfg Config) (*Cluster, error) {
+	if cfg.Self == "" {
+		return nil, fmt.Errorf("cluster: Self is required")
+	}
+	ring, err := NewRing(cfg.Peers, cfg.VNodes)
+	if err != nil {
+		return nil, err
+	}
+	found := false
+	for _, n := range ring.Nodes() {
+		if n == cfg.Self {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("cluster: self %q is not in the peer list %q", cfg.Self, ring.Nodes())
+	}
+	if cfg.Name == "" {
+		cfg.Name = cfg.Self
+	}
+	if cfg.FetchTimeout <= 0 {
+		cfg.FetchTimeout = 2 * time.Second
+	}
+	hc := cfg.HTTPClient
+	if hc == nil {
+		hc = &http.Client{}
+	}
+	c := &Cluster{
+		self:         cfg.Self,
+		name:         cfg.Name,
+		ring:         ring,
+		hc:           hc,
+		fetchTimeout: cfg.FetchTimeout,
+		histFetch:    obs.NewHistogram(),
+		histProxy:    obs.NewHistogram(),
+	}
+	if cfg.Probe.Probe == nil {
+		cfg.Probe.Probe = c.httpProbe
+	}
+	var others []string
+	for _, n := range ring.Nodes() {
+		if n != cfg.Self {
+			others = append(others, n)
+		}
+	}
+	c.prober = newProber(others, cfg.Probe)
+	return c, nil
+}
+
+// httpProbe is the default liveness check: the peer's /healthz must answer
+// 200 (a draining peer answers 503 and correctly reads as unhealthy).
+func (c *Cluster) httpProbe(ctx context.Context, baseURL string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, baseURL+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("cluster: probe %s: %s", baseURL, resp.Status)
+	}
+	return nil
+}
+
+// Self returns this node's ring identity (its base URL).
+func (c *Cluster) Self() string { return c.self }
+
+// Name returns this node's display name.
+func (c *Cluster) Name() string { return c.name }
+
+// Owner returns the base URL of the node owning the digest.
+func (c *Cluster) Owner(d store.Digest) string { return c.ring.Owner(d) }
+
+// Peers returns the fleet's sorted base URLs, self included.
+func (c *Cluster) Peers() []string { return c.ring.Nodes() }
+
+// Healthy reports whether the peer is currently considered reachable.
+func (c *Cluster) Healthy(peer string) bool { return c.prober.Healthy(peer) }
+
+// FetchLatency and ProxyLatency expose the latency histograms for /metrics.
+func (c *Cluster) FetchLatency() *obs.Histogram { return c.histFetch }
+func (c *Cluster) ProxyLatency() *obs.Histogram { return c.histProxy }
+
+// Fetch implements store.PeerFetcher: ask the owning peer for the artifact
+// by digest, verify the "ZATL" frame (payload SHA-256 included) and decode
+// it through the registered codec. Every failure — self-owned key,
+// unhealthy owner, transport error, 404, bad frame, codec rejection —
+// returns ok=false so the store degrades to a local build; the counters
+// record which it was.
+func (c *Cluster) Fetch(ctx context.Context, key store.Digest) (any, int64, bool) {
+	owner := c.ring.Owner(key)
+	if owner == c.self {
+		return nil, 0, false // we are the owner: build locally
+	}
+	if !c.prober.Healthy(owner) {
+		c.skipped.Add(1)
+		return nil, 0, false
+	}
+	c.fetches.Add(1)
+	fctx, sp := obs.StartSpan(ctx, "cluster.fetch")
+	sp.SetAttr("key", key.Short())
+	sp.SetAttr("owner", owner)
+	defer sp.End()
+	fctx, cancel := context.WithTimeout(fctx, c.fetchTimeout)
+	defer cancel()
+
+	start := time.Now()
+	req, err := http.NewRequestWithContext(fctx, http.MethodGet, owner+ArtifactsPath+key.String(), nil)
+	if err != nil {
+		c.errors.Add(1)
+		sp.SetAttr("error", err)
+		return nil, 0, false
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		c.errors.Add(1)
+		c.prober.MarkFailure(owner)
+		sp.SetAttr("error", err)
+		slog.Warn("cluster: peer fetch failed, building locally",
+			"key", key.Short(), "owner", owner, "err", err)
+		return nil, 0, false
+	}
+	defer resp.Body.Close()
+	switch {
+	case resp.StatusCode == http.StatusNotFound:
+		// The owner has not built it either: a clean miss, the peer is fine.
+		c.misses.Add(1)
+		c.prober.MarkHealthy(owner)
+		return nil, 0, false
+	case resp.StatusCode != http.StatusOK:
+		c.errors.Add(1)
+		c.prober.MarkFailure(owner)
+		sp.SetAttr("error", resp.Status)
+		slog.Warn("cluster: peer fetch unexpected status, building locally",
+			"key", key.Short(), "owner", owner, "status", resp.Status)
+		return nil, 0, false
+	}
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxArtifactBytes+1))
+	if err != nil {
+		c.errors.Add(1)
+		c.prober.MarkFailure(owner)
+		sp.SetAttr("error", err)
+		return nil, 0, false
+	}
+	if len(data) > maxArtifactBytes {
+		c.rejects.Add(1)
+		sp.SetAttr("error", "artifact exceeds size bound")
+		return nil, 0, false
+	}
+	v, size, kind, err := store.DecodeFramed(data)
+	if err != nil {
+		// The peer answered but the bytes do not verify or decode: never
+		// promote a tampered artifact. The transport is fine, so the peer
+		// stays routable; the reject counter is the alert signal.
+		c.rejects.Add(1)
+		sp.SetAttr("error", err)
+		slog.Warn("cluster: peer artifact failed verification, building locally",
+			"key", key.Short(), "owner", owner, "err", err)
+		return nil, 0, false
+	}
+	c.hits.Add(1)
+	c.histFetch.Observe(time.Since(start))
+	c.prober.MarkHealthy(owner)
+	sp.SetAttr("kind", kind)
+	sp.SetAttr("bytes", len(data))
+	return v, size, true
+}
+
+// ProxyPredict forwards a /v1/predict request to the owning peer and
+// returns its response (caller closes the body). A transport failure or a
+// 5xx marks the owner unhealthy and returns an error — the caller then
+// builds locally; 4xx responses relay as-is (they are the request's
+// fault, not the owner's).
+func (c *Cluster) ProxyPredict(ctx context.Context, owner, rawQuery string, header http.Header, body []byte) (*http.Response, error) {
+	c.proxied.Add(1)
+	u := owner + "/v1/predict"
+	if rawQuery != "" {
+		u += "?" + rawQuery
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, u, bytes.NewReader(body))
+	if err != nil {
+		c.proxyErrs.Add(1)
+		return nil, err
+	}
+	for _, h := range []string{"Content-Type", "X-Zatel-Request-Id"} {
+		if v := header.Get(h); v != "" {
+			req.Header.Set(h, v)
+		}
+	}
+	req.Header.Set(ForwardedHeader, c.name)
+	start := time.Now()
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		c.proxyErrs.Add(1)
+		c.prober.MarkFailure(owner)
+		return nil, err
+	}
+	if resp.StatusCode >= 500 {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
+		resp.Body.Close()
+		c.proxyErrs.Add(1)
+		c.prober.MarkFailure(owner)
+		return nil, fmt.Errorf("cluster: owner %s answered %s", owner, resp.Status)
+	}
+	c.histProxy.Observe(time.Since(start))
+	c.prober.MarkHealthy(owner)
+	return resp, nil
+}
+
+// CountLocalFallback records one predict built locally because the owner
+// was unhealthy or the forward failed.
+func (c *Cluster) CountLocalFallback() { c.localFB.Add(1) }
+
+// Counters implements store.PeerFetcher.
+func (c *Cluster) Counters() store.PeerCounters {
+	return store.PeerCounters{
+		Peers:          len(c.ring.Nodes()),
+		Healthy:        c.prober.HealthyCount() + 1, // self is always healthy
+		Fetches:        c.fetches.Load(),
+		Hits:           c.hits.Load(),
+		Misses:         c.misses.Load(),
+		Errors:         c.errors.Load(),
+		Rejects:        c.rejects.Load(),
+		Skipped:        c.skipped.Load(),
+		Proxied:        c.proxied.Load(),
+		ProxyErrors:    c.proxyErrs.Load(),
+		LocalFallbacks: c.localFB.Load(),
+	}
+}
+
+// Close stops the health prober.
+func (c *Cluster) Close() { c.prober.Close() }

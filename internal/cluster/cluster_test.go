@@ -1,0 +1,370 @@
+package cluster
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"zatel/internal/store"
+)
+
+// testArtifact is the artifact family these tests move between fake peers.
+type testArtifact struct {
+	Payload string `json:"payload"`
+}
+
+func (a *testArtifact) SizeBytes() int64 { return int64(len(a.Payload)) }
+
+type testCodec struct{}
+
+func (testCodec) Kind() string { return "cluster.test/v1" }
+func (testCodec) Encodes(v any) bool {
+	_, ok := v.(*testArtifact)
+	return ok
+}
+func (testCodec) Encode(v any) ([]byte, error) { return json.Marshal(v) }
+func (testCodec) Decode(data []byte) (any, int64, error) {
+	var a testArtifact
+	if err := json.Unmarshal(data, &a); err != nil {
+		return nil, 0, err
+	}
+	return &a, a.SizeBytes(), nil
+}
+
+// The codec registry is process-wide and panics on duplicates, so every
+// test file shares one registration.
+var registerTestCodec sync.Once
+
+func testCodecInit() {
+	registerTestCodec.Do(func() { store.RegisterCodec(testCodec{}) })
+}
+
+func digestOf(s string) store.Digest {
+	return store.Digest(sha256.Sum256([]byte(s)))
+}
+
+// keyOwnedBy searches deterministic digests until one lands on the wanted
+// owner; the ring's balance makes this terminate almost immediately.
+func keyOwnedBy(t *testing.T, r *Ring, owner, salt string) store.Digest {
+	t.Helper()
+	for i := 0; i < 10000; i++ {
+		d := digestOf(salt + string(rune('0'+i%10)) + string(rune('a'+i/10%26)) + string(rune('A'+i/260)))
+		if r.Owner(d) == owner {
+			return d
+		}
+	}
+	t.Fatalf("no digest owned by %q found", owner)
+	return store.Digest{}
+}
+
+// twoNodeCluster builds a Cluster whose self is NOT srvURL, so srvURL owns
+// some keys and fetches go over real HTTP to the httptest server.
+func twoNodeCluster(t *testing.T, srvURL string, probe ProbeConfig) *Cluster {
+	t.Helper()
+	self := "http://self.invalid:1"
+	probe.Interval = -1 // tests drive probing explicitly
+	c, err := New(Config{
+		Self:         self,
+		Peers:        []string{self, srvURL},
+		FetchTimeout: 2 * time.Second,
+		Probe:        probe,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+func TestClusterFetchFromOwner(t *testing.T) {
+	testCodecInit()
+	want := &testArtifact{Payload: "built on the owner"}
+	framed, kind, err := store.EncodeFramed(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind != "cluster.test/v1" {
+		t.Fatalf("kind = %q", kind)
+	}
+	var served atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		served.Add(1)
+		w.Write(framed)
+	}))
+	defer srv.Close()
+
+	c := twoNodeCluster(t, srv.URL, ProbeConfig{})
+	key := keyOwnedBy(t, c.ring, srv.URL, "fetch")
+	v, size, ok := c.Fetch(context.Background(), key)
+	if !ok {
+		t.Fatal("Fetch returned ok=false for a healthy owner serving a valid frame")
+	}
+	got, isArt := v.(*testArtifact)
+	if !isArt || got.Payload != want.Payload {
+		t.Fatalf("Fetch decoded %#v, want %#v", v, want)
+	}
+	if size != want.SizeBytes() {
+		t.Errorf("size = %d, want %d", size, want.SizeBytes())
+	}
+	if served.Load() != 1 {
+		t.Errorf("owner served %d requests, want 1", served.Load())
+	}
+	pc := c.Counters()
+	if pc.Fetches != 1 || pc.Hits != 1 || pc.Misses+pc.Errors+pc.Rejects+pc.Skipped != 0 {
+		t.Errorf("counters = %+v, want exactly one hit", pc)
+	}
+}
+
+func TestClusterFetchSelfOwnedMakesNoCalls(t *testing.T) {
+	testCodecInit()
+	var served atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		served.Add(1)
+	}))
+	defer srv.Close()
+	self := "http://self.invalid:1"
+	c, err := New(Config{
+		Self:  self,
+		Peers: []string{self, srv.URL},
+		Probe: ProbeConfig{Interval: -1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	key := keyOwnedBy(t, c.ring, self, "selfowned")
+	if _, _, ok := c.Fetch(context.Background(), key); ok {
+		t.Fatal("Fetch of a self-owned key returned ok=true")
+	}
+	if served.Load() != 0 {
+		t.Fatalf("self-owned fetch made %d HTTP calls, want 0", served.Load())
+	}
+	pc := c.Counters()
+	if pc.Fetches != 0 {
+		t.Errorf("Fetches = %d, want 0 (self-owned keys are not peer fetches)", pc.Fetches)
+	}
+}
+
+func TestClusterFetchMiss404(t *testing.T) {
+	testCodecInit()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "not found", http.StatusNotFound)
+	}))
+	defer srv.Close()
+	c := twoNodeCluster(t, srv.URL, ProbeConfig{})
+	key := keyOwnedBy(t, c.ring, srv.URL, "miss")
+	if _, _, ok := c.Fetch(context.Background(), key); ok {
+		t.Fatal("Fetch returned ok=true for a 404")
+	}
+	pc := c.Counters()
+	if pc.Misses != 1 || pc.Errors != 0 {
+		t.Errorf("counters = %+v, want one clean miss", pc)
+	}
+	if !c.Healthy(srv.URL) {
+		t.Error("a 404 marked the peer unhealthy; a miss is not a failure")
+	}
+}
+
+// TestClusterFetchRejectsCorruptFrames: a peer answering with tampered
+// bytes is never promoted — every corruption is detected, counted as a
+// reject, and the peer stays routable (the transport worked).
+func TestClusterFetchRejectsCorruptFrames(t *testing.T) {
+	testCodecInit()
+	good, _, err := store.EncodeFramed(&testArtifact{Payload: "pristine artifact bytes"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupt := func(mutate func([]byte)) []byte {
+		b := append([]byte(nil), good...)
+		mutate(b)
+		return b
+	}
+	cases := []struct {
+		name string
+		body []byte
+	}{
+		{"flipped payload byte", corrupt(func(b []byte) { b[len(b)-3] ^= 0x40 })},
+		{"bad magic", corrupt(func(b []byte) { b[0] = 'X' })},
+		{"truncated", good[:len(good)-5]},
+		{"empty", nil},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				w.Write(tc.body)
+			}))
+			defer srv.Close()
+			c := twoNodeCluster(t, srv.URL, ProbeConfig{})
+			key := keyOwnedBy(t, c.ring, srv.URL, "corrupt")
+			v, _, ok := c.Fetch(context.Background(), key)
+			if ok || v != nil {
+				t.Fatalf("corrupted frame accepted: ok=%v v=%#v", ok, v)
+			}
+			pc := c.Counters()
+			if pc.Rejects != 1 {
+				t.Errorf("Rejects = %d, want 1 (counters: %+v)", pc.Rejects, pc)
+			}
+			if !c.Healthy(srv.URL) {
+				t.Error("corrupt payload marked peer unhealthy; transport was fine")
+			}
+		})
+	}
+}
+
+func TestClusterFetchOwnerDownDegrades(t *testing.T) {
+	testCodecInit()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	srv.Close() // immediately: every connection refuses
+	c := twoNodeCluster(t, srv.URL, ProbeConfig{})
+	key := keyOwnedBy(t, c.ring, srv.URL, "down")
+
+	if _, _, ok := c.Fetch(context.Background(), key); ok {
+		t.Fatal("Fetch to a dead owner returned ok=true")
+	}
+	pc := c.Counters()
+	if pc.Errors != 1 {
+		t.Fatalf("Errors = %d, want 1 (counters: %+v)", pc.Errors, pc)
+	}
+	if c.Healthy(srv.URL) {
+		t.Fatal("dead owner still marked healthy after a transport failure")
+	}
+	// The next fetch must not even dial: the owner is unhealthy, so the
+	// fetch is skipped and the caller goes straight to a local build.
+	if _, _, ok := c.Fetch(context.Background(), key); ok {
+		t.Fatal("second Fetch returned ok=true")
+	}
+	pc = c.Counters()
+	if pc.Skipped != 1 || pc.Errors != 1 {
+		t.Errorf("counters after skip = %+v, want Skipped=1 and no new error", pc)
+	}
+}
+
+// TestProberRecovery scripts a failure and recovery through an injected
+// ProbeFunc: MarkFailure downs the peer, CheckNow with a healthy probe
+// restores it.
+func TestProberRecovery(t *testing.T) {
+	var healthy atomic.Bool
+	probe := func(ctx context.Context, baseURL string) error {
+		if healthy.Load() {
+			return nil
+		}
+		return errors.New("still down")
+	}
+	p := newProber([]string{"http://a", "http://b"}, ProbeConfig{
+		Interval: -1,
+		Probe:    probe,
+		Seed:     42,
+	})
+	defer p.Close()
+
+	if !p.Healthy("http://a") || p.HealthyCount() != 2 {
+		t.Fatal("peers must start healthy")
+	}
+	p.MarkFailure("http://a")
+	if p.Healthy("http://a") || p.HealthyCount() != 1 {
+		t.Fatal("MarkFailure did not down the peer")
+	}
+	p.CheckNow(true) // probe fails: stays down
+	if p.Healthy("http://a") {
+		t.Fatal("failed probe restored the peer")
+	}
+	healthy.Store(true)
+	p.CheckNow(true)
+	if !p.Healthy("http://a") || p.HealthyCount() != 2 {
+		t.Fatal("successful probe did not restore the peer")
+	}
+}
+
+// TestProberBackoffDeterministic: the re-probe schedule is a pure function
+// of (Seed, peer, attempt) — two probers with one seed agree exactly.
+func TestProberBackoffDeterministic(t *testing.T) {
+	mk := func() *Prober {
+		return newProber([]string{"http://a", "http://b"}, ProbeConfig{
+			Interval: -1,
+			Backoff:  100 * time.Millisecond,
+			Seed:     7,
+		})
+	}
+	p1, p2 := mk(), mk()
+	defer p1.Close()
+	defer p2.Close()
+	for k := 1; k <= 6; k++ {
+		d1, d2 := p1.backoffFor("http://b", k), p2.backoffFor("http://b", k)
+		if d1 != d2 {
+			t.Fatalf("attempt %d: backoff %v != %v for identical seeds", k, d1, d2)
+		}
+		if d1 < 100*time.Millisecond {
+			t.Errorf("attempt %d: backoff %v below base", k, d1)
+		}
+		if max := 8 * 100 * time.Millisecond * 3 / 2; d1 > max {
+			t.Errorf("attempt %d: backoff %v above cap+jitter %v", k, d1, max)
+		}
+	}
+	// Different seeds must diverge somewhere (jitter is really seeded).
+	p3 := newProber([]string{"http://a", "http://b"}, ProbeConfig{
+		Interval: -1, Backoff: 100 * time.Millisecond, Seed: 8,
+	})
+	defer p3.Close()
+	same := true
+	for k := 1; k <= 6; k++ {
+		if p1.backoffFor("http://b", k) != p3.backoffFor("http://b", k) {
+			same = false
+		}
+	}
+	if same {
+		t.Error("backoff schedule identical across different seeds; jitter is not seeded")
+	}
+}
+
+func TestProxyPredict(t *testing.T) {
+	testCodecInit()
+	owner := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Header.Get(ForwardedHeader) == "" {
+			t.Error("forwarded request missing " + ForwardedHeader)
+		}
+		if r.URL.Path != "/v1/predict" {
+			t.Errorf("forwarded path = %q", r.URL.Path)
+		}
+		w.Header().Set("X-Zatel-Cache", "miss")
+		w.Write([]byte(`{"ok":true}`))
+	}))
+	defer owner.Close()
+	c := twoNodeCluster(t, owner.URL, ProbeConfig{})
+	resp, err := c.ProxyPredict(context.Background(), owner.URL, "", http.Header{}, []byte(`{}`))
+	if err != nil {
+		t.Fatalf("ProxyPredict: %v", err)
+	}
+	resp.Body.Close()
+	if resp.Header.Get("X-Zatel-Cache") != "miss" {
+		t.Error("owner response headers not relayed")
+	}
+	pc := c.Counters()
+	if pc.Proxied != 1 || pc.ProxyErrors != 0 {
+		t.Errorf("counters = %+v, want one clean proxy", pc)
+	}
+}
+
+func TestProxyPredict5xxMarksOwnerDown(t *testing.T) {
+	testCodecInit()
+	owner := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "boom", http.StatusInternalServerError)
+	}))
+	defer owner.Close()
+	c := twoNodeCluster(t, owner.URL, ProbeConfig{})
+	if _, err := c.ProxyPredict(context.Background(), owner.URL, "", http.Header{}, nil); err == nil {
+		t.Fatal("ProxyPredict swallowed a 500")
+	}
+	if c.Healthy(owner.URL) {
+		t.Error("owner stayed healthy after a 500")
+	}
+	if pc := c.Counters(); pc.ProxyErrors != 1 {
+		t.Errorf("ProxyErrors = %d, want 1", pc.ProxyErrors)
+	}
+}

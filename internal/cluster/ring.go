@@ -1,0 +1,90 @@
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"zatel/internal/store"
+)
+
+// DefaultVNodes is the virtual-node count per peer. 64 vnodes keep the
+// worst-case ownership imbalance of a small fleet within a few percent
+// while the ring stays tiny (N×64 tokens, binary-searched per lookup).
+const DefaultVNodes = 64
+
+// Ring is a consistent-hash ring over a static peer list. Placement is
+// fully deterministic: each peer contributes VNodes tokens at
+// SHA-256("<peer>#<i>"), artifact digests map to the first token at or
+// after their own leading 8 bytes, and neither the order the peers were
+// listed in nor the node doing the asking changes any answer. Adding or
+// removing a peer moves only the keys that peer's token arcs cover —
+// every other key keeps its owner, which is what keeps a rolling restart
+// from stampeding the fleet with rebuilds.
+//
+// A Ring is immutable after construction and safe for concurrent use.
+type Ring struct {
+	nodes  []string
+	tokens []ringToken // sorted by point, node as tiebreak
+}
+
+type ringToken struct {
+	point uint64
+	node  string
+}
+
+// NewRing builds the ring over the peer base URLs (duplicates collapse;
+// order is irrelevant). vnodes <= 0 selects DefaultVNodes.
+func NewRing(peers []string, vnodes int) (*Ring, error) {
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	seen := make(map[string]bool, len(peers))
+	var nodes []string
+	for _, p := range peers {
+		if p == "" {
+			return nil, fmt.Errorf("cluster: empty peer in list %q", peers)
+		}
+		if !seen[p] {
+			seen[p] = true
+			nodes = append(nodes, p)
+		}
+	}
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("cluster: ring needs at least one peer")
+	}
+	sort.Strings(nodes)
+	r := &Ring{nodes: nodes, tokens: make([]ringToken, 0, len(nodes)*vnodes)}
+	for _, n := range nodes {
+		for i := 0; i < vnodes; i++ {
+			sum := sha256.Sum256([]byte(fmt.Sprintf("%s#%d", n, i)))
+			r.tokens = append(r.tokens, ringToken{point: binary.BigEndian.Uint64(sum[:8]), node: n})
+		}
+	}
+	sort.Slice(r.tokens, func(i, j int) bool {
+		if r.tokens[i].point != r.tokens[j].point {
+			return r.tokens[i].point < r.tokens[j].point
+		}
+		return r.tokens[i].node < r.tokens[j].node
+	})
+	return r, nil
+}
+
+// Nodes returns the deduplicated, sorted peer list.
+func (r *Ring) Nodes() []string { return r.nodes }
+
+// Owner returns the peer owning the artifact digest: the digest's leading
+// 8 bytes locate a point on the ring, and the first token clockwise from
+// it names the owner.
+func (r *Ring) Owner(d store.Digest) string {
+	return r.ownerOf(binary.BigEndian.Uint64(d[:8]))
+}
+
+func (r *Ring) ownerOf(point uint64) string {
+	i := sort.Search(len(r.tokens), func(i int) bool { return r.tokens[i].point >= point })
+	if i == len(r.tokens) {
+		i = 0 // wrap past the highest token
+	}
+	return r.tokens[i].node
+}

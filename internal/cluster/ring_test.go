@@ -1,0 +1,181 @@
+package cluster
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"testing"
+
+	"zatel/internal/store"
+)
+
+func goldenDigest(i int) store.Digest {
+	return store.Digest(sha256.Sum256([]byte(fmt.Sprintf("golden-key-%d", i))))
+}
+
+// TestRingGoldenPlacement pins the deterministic placement contract: these
+// digest→owner pairs may never change for this peer set, or a mixed-version
+// fleet would disagree about ownership and fetch from the wrong node.
+func TestRingGoldenPlacement(t *testing.T) {
+	peers := []string{"http://node-a:8080", "http://node-b:8080", "http://node-c:8080"}
+	r, err := NewRing(peers, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := []struct {
+		key   int
+		owner string
+	}{
+		{0, "http://node-c:8080"},
+		{1, "http://node-a:8080"},
+		{2, "http://node-a:8080"},
+		{3, "http://node-c:8080"},
+		{4, "http://node-c:8080"},
+		{5, "http://node-c:8080"},
+		{6, "http://node-c:8080"},
+		{7, "http://node-a:8080"},
+		{8, "http://node-b:8080"},
+		{9, "http://node-b:8080"},
+		{10, "http://node-c:8080"},
+		{11, "http://node-b:8080"},
+	}
+	for _, g := range golden {
+		if got := r.Owner(goldenDigest(g.key)); got != g.owner {
+			t.Errorf("Owner(golden-key-%d) = %q, want %q (placement must stay stable)", g.key, got, g.owner)
+		}
+	}
+}
+
+// TestRingOrderIndependence: every permutation of the peer list (and any
+// duplicates in it) yields the identical ring.
+func TestRingOrderIndependence(t *testing.T) {
+	base := []string{"http://a", "http://b", "http://c", "http://d"}
+	perms := [][]string{
+		{"http://d", "http://c", "http://b", "http://a"},
+		{"http://b", "http://d", "http://a", "http://c"},
+		{"http://a", "http://a", "http://b", "http://c", "http://d", "http://b"},
+	}
+	want, err := NewRing(base, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, perm := range perms {
+		r, err := NewRing(perm, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fmt.Sprint(r.Nodes()) != fmt.Sprint(want.Nodes()) {
+			t.Fatalf("Nodes() = %v for permutation %v, want %v", r.Nodes(), perm, want.Nodes())
+		}
+		for i := 0; i < 200; i++ {
+			d := goldenDigest(i)
+			if got, exp := r.Owner(d), want.Owner(d); got != exp {
+				t.Fatalf("permutation %v: Owner(key %d) = %q, want %q", perm, i, got, exp)
+			}
+		}
+	}
+}
+
+// TestRingMinimalMovement: removing one node reassigns only that node's
+// keys; every key another node owned keeps its owner. This is the property
+// that makes a rolling restart cheap.
+func TestRingMinimalMovement(t *testing.T) {
+	all := []string{"http://a", "http://b", "http://c", "http://d", "http://e"}
+	full, err := NewRing(all, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	removed := "http://c"
+	var reduced []string
+	for _, p := range all {
+		if p != removed {
+			reduced = append(reduced, p)
+		}
+	}
+	small, err := NewRing(reduced, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 4096
+	moved, onRemoved := 0, 0
+	for i := 0; i < n; i++ {
+		d := goldenDigest(i)
+		before, after := full.Owner(d), small.Owner(d)
+		if before == removed {
+			onRemoved++
+			if after == removed {
+				t.Fatalf("key %d still owned by removed node %q", i, removed)
+			}
+			continue
+		}
+		if before != after {
+			moved++
+			t.Errorf("key %d moved %q -> %q though its owner stayed in the ring", i, before, after)
+		}
+	}
+	if moved > 0 {
+		t.Fatalf("%d/%d keys moved off surviving owners (want 0)", moved, n)
+	}
+	if onRemoved == 0 {
+		t.Fatal("removed node owned no keys; test is vacuous")
+	}
+}
+
+// TestRingBalance: with DefaultVNodes no node's share strays wildly from
+// 1/N. The bound is loose (3x the fair share) — this guards against a
+// hashing bug that collapses ownership onto one node, not statistical
+// perfection.
+func TestRingBalance(t *testing.T) {
+	peers := []string{"http://a", "http://b", "http://c", "http://d"}
+	r, err := NewRing(peers, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 8192
+	counts := make(map[string]int, len(peers))
+	for i := 0; i < n; i++ {
+		counts[r.Owner(goldenDigest(i))]++
+	}
+	fair := n / len(peers)
+	for _, p := range peers {
+		c := counts[p]
+		if c == 0 {
+			t.Errorf("node %q owns nothing", p)
+		}
+		if c > 3*fair {
+			t.Errorf("node %q owns %d of %d keys (> 3x fair share %d)", p, c, n, fair)
+		}
+	}
+}
+
+func TestRingErrors(t *testing.T) {
+	if _, err := NewRing(nil, 0); err == nil {
+		t.Error("NewRing(nil) succeeded, want error")
+	}
+	if _, err := NewRing([]string{"http://a", ""}, 0); err == nil {
+		t.Error("NewRing with empty peer succeeded, want error")
+	}
+}
+
+func TestNewClusterValidation(t *testing.T) {
+	if _, err := New(Config{Peers: []string{"http://a"}}); err == nil {
+		t.Error("New without Self succeeded, want error")
+	}
+	if _, err := New(Config{Self: "http://z", Peers: []string{"http://a", "http://b"}}); err == nil {
+		t.Error("New with Self outside peer list succeeded, want error")
+	}
+	c, err := New(Config{
+		Self:  "http://a",
+		Peers: []string{"http://b", "http://a"},
+		Probe: ProbeConfig{Interval: -1},
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer c.Close()
+	if c.Name() != "http://a" {
+		t.Errorf("Name() = %q, want default Self", c.Name())
+	}
+	if got := c.Peers(); len(got) != 2 || got[0] != "http://a" || got[1] != "http://b" {
+		t.Errorf("Peers() = %v", got)
+	}
+}

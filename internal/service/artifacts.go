@@ -1,0 +1,43 @@
+package service
+
+import (
+	"encoding/hex"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"zatel/internal/cluster"
+	"zatel/internal/store"
+)
+
+// handleArtifacts serves GET /v1/artifacts/{digest}: the peer artifact
+// endpoint of the cluster tier. The response body is the artifact's
+// verified "ZATL"-framed encoding — exactly the bytes the disk tier
+// persists — so the fetching peer re-verifies the same header and payload
+// SHA-256 before decoding. Misses are 404; this endpoint never builds
+// (builds belong to the owner's /v1/predict path).
+func (s *Server) handleArtifacts(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.methodNotAllowed(w, r, "artifacts", http.MethodGet)
+		return
+	}
+	hexDigest := strings.TrimPrefix(r.URL.Path, cluster.ArtifactsPath)
+	raw, err := hex.DecodeString(hexDigest)
+	if err != nil || len(raw) != len(store.Digest{}) {
+		s.countRequest("artifacts", http.StatusBadRequest)
+		writeError(w, r, http.StatusBadRequest, fmt.Sprintf("bad artifact digest %q (want 64 hex chars)", hexDigest))
+		return
+	}
+	var key store.Digest
+	copy(key[:], raw)
+	data, ok := s.st.Export(key)
+	if !ok {
+		s.countRequest("artifacts", http.StatusNotFound)
+		writeError(w, r, http.StatusNotFound, "artifact not found")
+		return
+	}
+	s.countRequest("artifacts", http.StatusOK)
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", fmt.Sprint(len(data)))
+	w.Write(data)
+}

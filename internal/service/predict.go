@@ -6,17 +6,20 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"log/slog"
 	"net/http"
 	"strings"
 	"time"
 
+	"zatel/internal/cluster"
 	"zatel/internal/config"
 	"zatel/internal/core"
 	"zatel/internal/metrics"
 	"zatel/internal/obs"
 	"zatel/internal/sampling"
 	"zatel/internal/scene"
+	"zatel/internal/store"
 )
 
 // PredictRequest is the POST /v1/predict body. Zero values select the
@@ -93,8 +96,9 @@ type PredictResponse struct {
 	Key string `json:"key"`
 	// Cache is how this request was served: "miss" (this request built),
 	// "hit" (already resident), "coalesced" (joined another request's
-	// in-flight build) or "disk" (loaded and integrity-verified from the
-	// persistent tier, e.g. after a restart).
+	// in-flight build), "disk" (loaded and integrity-verified from the
+	// persistent tier, e.g. after a restart) or "peer" (fetched, verified
+	// and promoted from the owning cluster peer).
 	Cache     string             `json:"cache"`
 	Predicted map[string]float64 `json:"predicted"`
 	// CILow/CIHigh bound each metric's confidence interval and Replicates
@@ -261,7 +265,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	reqID := obs.RequestID(r.Context())
 	finish := func(code int) {
 		s.countRequest("predict", code)
-		s.histRequest.observe(time.Since(reqStart))
+		s.histRequest.Observe(time.Since(reqStart))
 	}
 	if s.draining.Load() {
 		finish(http.StatusServiceUnavailable)
@@ -269,8 +273,16 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// The body is read whole rather than stream-decoded: cluster routing may
+	// need the raw bytes again to forward the request to the owning peer.
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err != nil {
+		finish(http.StatusBadRequest)
+		writeError(w, r, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
+		return
+	}
 	var req PredictRequest
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec := json.NewDecoder(bytes.NewReader(body))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
 		finish(http.StatusBadRequest)
@@ -300,6 +312,30 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	ctx = obs.WithTracer(ctx, tr)
 
 	key := opts.CacheKey()
+
+	// Cluster routing: on a non-owner, anything the fleet already has —
+	// local memory/disk, an in-flight local build, or the owner's copy via
+	// the peer tier — serves locally; a true fleet-wide miss forwards the
+	// request to the owner so every key is built where it lives. A request
+	// already forwarded once is served here unconditionally (no loops), and
+	// an unreachable owner degrades to a local build, never an error.
+	if cl := s.cfg.Cluster; cl != nil {
+		owner := cl.Owner(key)
+		w.Header().Set(OwnerHeader, owner)
+		if owner != cl.Self() && r.Header.Get(cluster.ForwardedHeader) == "" {
+			if v, outcome, ok := s.st.TryGet(ctx, key); ok {
+				s.writePredictOK(w, r, opts, key, outcome.String(), v.(*core.Result), reqStart, tr, wantTrace, finish)
+				return
+			}
+			if cl.Healthy(owner) && s.proxyToOwner(w, r, cl, owner, body, finish) {
+				return
+			}
+			cl.CountLocalFallback()
+			slog.Warn("cluster: owner unavailable, building locally",
+				"request_id", reqID, "key", key.Short(), "owner", owner)
+		}
+	}
+
 	v, outcome, err := s.st.GetOrBuild(ctx, key, func(ctx context.Context) (any, int64, error) {
 		// Admission control bounds cold builds only — hits and coalesced
 		// waiters cost no slot.
@@ -309,7 +345,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		defer s.release()
 		buildStart := time.Now()
 		res, err := core.PredictContext(ctx, opts)
-		s.histBuild.observe(time.Since(buildStart))
+		s.histBuild.Observe(time.Since(buildStart))
 		if err != nil {
 			return nil, 0, err
 		}
@@ -320,7 +356,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	durations := tr.Durations()
 	for _, name := range core.StepSpanNames {
 		if d, ok := durations[name]; ok {
-			s.histStep[name].observe(d)
+			s.histStep[name].Observe(d)
 		}
 	}
 	if err != nil {
@@ -338,14 +374,49 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		writeError(w, r, code, err.Error())
 		return
 	}
-	res := v.(*core.Result)
+	s.writePredictOK(w, r, opts, key, outcome.String(), v.(*core.Result), reqStart, tr, wantTrace, finish)
+}
 
+// proxyToOwner forwards the predict request to the owning peer and relays
+// its response verbatim (plus this node's own routing headers, already
+// set). Returns false when the forward failed — the caller then builds
+// locally, honouring the never-an-error contract.
+func (s *Server) proxyToOwner(w http.ResponseWriter, r *http.Request, cl *cluster.Cluster, owner string, body []byte, finish func(int)) bool {
+	reqID := obs.RequestID(r.Context())
+	resp, err := cl.ProxyPredict(r.Context(), owner, r.URL.RawQuery, r.Header, body)
+	if err != nil {
+		slog.Warn("cluster: forward to owner failed",
+			"request_id", reqID, "owner", owner, "err", err)
+		return false
+	}
+	defer resp.Body.Close()
+	for _, h := range []string{"Content-Type", "X-Zatel-Cache", "X-Zatel-Key"} {
+		if v := resp.Header.Get(h); v != "" {
+			w.Header().Set(h, v)
+		}
+	}
+	finish(resp.StatusCode)
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, resp.Body)
+	slog.Info("predict forwarded to owner",
+		"request_id", reqID,
+		"owner", owner,
+		"status", resp.StatusCode,
+		"cache", resp.Header.Get("X-Zatel-Cache"),
+	)
+	return true
+}
+
+// writePredictOK renders the successful prediction response; both the
+// build path and the cluster TryGet fast path end here.
+func (s *Server) writePredictOK(w http.ResponseWriter, r *http.Request, opts core.Options, key store.Digest, cache string, res *core.Result, reqStart time.Time, tr *obs.Tracer, wantTrace bool, finish func(int)) {
+	reqID := obs.RequestID(r.Context())
 	resp := PredictResponse{
 		Scene:        opts.Scene,
 		Config:       opts.Config.Name,
 		K:            res.K,
 		Key:          key.String(),
-		Cache:        outcome.String(),
+		Cache:        cache,
 		Predicted:    make(map[string]float64, len(res.Predicted)),
 		Groups:       make([]GroupInfo, len(res.Groups)),
 		PreprocessMs: durMs(res.PreprocessTime),
@@ -373,7 +444,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 				resp.Replicates = iv.Replicates
 			}
 		}
-		s.histCI.observeValue(res.Intervals.MaxRelHalfWidth())
+		s.histCI.ObserveValue(res.Intervals.MaxRelHalfWidth())
 	}
 	for gi, g := range res.Groups {
 		info := GroupInfo{

@@ -22,12 +22,14 @@ import (
 	"fmt"
 	"log/slog"
 	"net/http"
+	"os"
 	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"zatel/internal/cluster"
 	"zatel/internal/config"
 	"zatel/internal/core"
 	"zatel/internal/obs"
@@ -57,6 +59,15 @@ type Config struct {
 	// prediction this server runs (see core.Options).
 	Parallel bool
 	Workers  int
+	// Cluster joins this server to a zateld fleet (nil = single-node):
+	// /v1/predict routes by ring ownership, /v1/artifacts serves framed
+	// artifacts to peers, and the store's peer tier should be attached to
+	// the same Cluster by the caller (store.AttachPeers).
+	Cluster *cluster.Cluster
+	// NodeName is stamped into every response's X-Zatel-Node header and
+	// request log line (default: the cluster node name, else the hostname,
+	// else "zateld").
+	NodeName string
 }
 
 func (c *Config) fillDefaults() {
@@ -74,6 +85,15 @@ func (c *Config) fillDefaults() {
 	}
 	if c.MaxTimeout <= 0 {
 		c.MaxTimeout = 10 * time.Minute
+	}
+	if c.NodeName == "" {
+		if c.Cluster != nil {
+			c.NodeName = c.Cluster.Name()
+		} else if host, err := os.Hostname(); err == nil && host != "" {
+			c.NodeName = host
+		} else {
+			c.NodeName = "zateld"
+		}
 	}
 }
 
@@ -93,15 +113,15 @@ type Server struct {
 	reqMu     sync.Mutex
 	reqCounts map[reqKey]uint64
 
-	histRequest *histogram // end-to-end predict request latency
-	histBuild   *histogram // cold pipeline executions only
-	histWait    *histogram // admission-queue wait of builders
-	histCI      *histogram // worst relative CI half-width of replicated predictions
+	histRequest *obs.Histogram // end-to-end predict request latency
+	histBuild   *obs.Histogram // cold pipeline executions only
+	histWait    *obs.Histogram // admission-queue wait of builders
+	histCI      *obs.Histogram // worst relative CI half-width of replicated predictions
 
 	// histStep holds one latency histogram per pipeline step span name
 	// (core.StepSpanNames), fed from the per-build tracer; exposed as
 	// zatel_step_latency_seconds{step="..."}.
-	histStep map[string]*histogram
+	histStep map[string]*obs.Histogram
 }
 
 type reqKey struct {
@@ -119,18 +139,19 @@ func New(cfg Config) *Server {
 		start:       time.Now(),
 		sem:         make(chan struct{}, cfg.MaxConcurrent),
 		reqCounts:   make(map[reqKey]uint64),
-		histRequest: newHistogram(),
-		histBuild:   newHistogram(),
-		histWait:    newHistogram(),
-		histCI:      newHistogram(),
-		histStep:    make(map[string]*histogram, len(core.StepSpanNames)),
+		histRequest: obs.NewHistogram(),
+		histBuild:   obs.NewHistogram(),
+		histWait:    obs.NewHistogram(),
+		histCI:      obs.NewHistogram(),
+		histStep:    make(map[string]*obs.Histogram, len(core.StepSpanNames)),
 	}
 	for _, name := range core.StepSpanNames {
-		s.histStep[name] = newHistogram()
+		s.histStep[name] = obs.NewHistogram()
 	}
 	s.mux.HandleFunc("/v1/predict", s.handlePredict)
 	s.mux.HandleFunc("/v1/scenes", s.handleScenes)
 	s.mux.HandleFunc("/v1/configs", s.handleConfigs)
+	s.mux.HandleFunc(cluster.ArtifactsPath, s.handleArtifacts)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	return s
@@ -138,7 +159,9 @@ func New(cfg Config) *Server {
 
 // Handler returns the root http.Handler: the mux wrapped in the request-ID
 // and logging middleware. Every response carries X-Zatel-Request-Id (the
-// client's own, when it sent one, so IDs correlate across services), and
+// client's own, when it sent one, so IDs correlate across services) and
+// X-Zatel-Node (which fleet member answered — single-node servers stamp it
+// too, so traces stay attributable when a node later joins a fleet), and
 // every request emits one structured log line — predictions at info,
 // read-only endpoints at debug.
 func (s *Server) Handler() http.Handler {
@@ -148,6 +171,7 @@ func (s *Server) Handler() http.Handler {
 			id = obs.NewRequestID()
 		}
 		w.Header().Set(RequestIDHeader, id)
+		w.Header().Set(NodeHeader, s.cfg.NodeName)
 		r = r.WithContext(obs.WithRequestID(r.Context(), id))
 
 		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
@@ -160,6 +184,7 @@ func (s *Server) Handler() http.Handler {
 		}
 		slog.Default().Log(r.Context(), lvl, "request",
 			"request_id", id,
+			"node", s.cfg.NodeName,
 			"method", r.Method,
 			"path", r.URL.Path,
 			"status", sw.code,
@@ -172,6 +197,15 @@ func (s *Server) Handler() http.Handler {
 // correlation ID that also appears in log lines, error bodies and trace
 // exports.
 const RequestIDHeader = "X-Zatel-Request-Id"
+
+// NodeHeader names the fleet member that answered the request; OwnerHeader
+// names the consistent-hash owner of a /v1/predict request's artifact key
+// (cluster mode only). Together they make routing observable: node != owner
+// on a response means the peer tier or a local fallback served it.
+const (
+	NodeHeader  = "X-Zatel-Node"
+	OwnerHeader = "X-Zatel-Owner"
+)
 
 // statusWriter captures the response code for the request log line.
 type statusWriter struct {
@@ -222,7 +256,7 @@ func (s *Server) acquire(ctx context.Context) error {
 	waitStart := time.Now()
 	select {
 	case s.sem <- struct{}{}:
-		s.histWait.observe(time.Since(waitStart))
+		s.histWait.Observe(time.Since(waitStart))
 		s.running.Add(1)
 		return nil
 	case <-ctx.Done():
@@ -284,14 +318,18 @@ func (s *Server) handleConfigs(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleHealthz reports liveness plus the state an operator triages first:
-// memory-store occupancy and the disk tier's mode. "degraded" in the disk
-// block means the tier stopped persisting (full or failing disk) and the
-// server is running memory-only — still healthy for serving, but worth an
-// alert (see OPERATIONS.md).
+// memory-store occupancy, the disk tier's mode and the cluster's peer
+// health. "degraded" in the disk block means the tier stopped persisting
+// (full or failing disk) and the server is running memory-only — still
+// healthy for serving, but worth an alert (see OPERATIONS.md). All store
+// figures come from one store.Stats snapshot, the same call /metrics
+// reads, so the two endpoints cannot disagree about which tiers exist.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	c := s.st.Snapshot()
+	stats := s.st.Stats()
+	c := stats.Mem
 	body := map[string]any{
 		"uptime_s": time.Since(s.start).Seconds(),
+		"node":     s.cfg.NodeName,
 		"store": map[string]any{
 			"entries":   c.Entries,
 			"bytes":     c.Bytes,
@@ -299,7 +337,8 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		},
 	}
 	disk := map[string]any{"state": "disabled"}
-	if dc, ok := s.st.DiskCounters(); ok {
+	if stats.DiskEnabled {
+		dc := stats.Disk
 		disk["state"] = dc.State
 		disk["entries"] = dc.Entries
 		disk["bytes"] = dc.Bytes
@@ -307,6 +346,18 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		disk["quarantined"] = dc.Quarantined
 	}
 	body["disk"] = disk
+	clusterBody := map[string]any{"state": "disabled"}
+	if cl := s.cfg.Cluster; cl != nil && stats.PeerEnabled {
+		pc := stats.Peer
+		clusterBody["state"] = "ok"
+		clusterBody["self"] = cl.Self()
+		clusterBody["peers"] = pc.Peers
+		clusterBody["peers_healthy"] = pc.Healthy
+		if pc.Healthy < pc.Peers {
+			clusterBody["state"] = "peer-degraded"
+		}
+	}
+	body["cluster"] = clusterBody
 	if s.draining.Load() {
 		body["status"] = "draining"
 		s.countRequest("healthz", http.StatusServiceUnavailable)
@@ -328,7 +379,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.countRequest("metrics", http.StatusOK)
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 
-	c := s.st.Snapshot()
+	stats := s.st.Stats()
+	c := stats.Mem
 	counter := func(name string, v uint64, help string) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
 	}
@@ -348,7 +400,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 
 	// Disk tier. zatel_store_disk_enabled stays 0 when no -store-dir was
 	// given so dashboards can distinguish "off" from "degraded".
-	if dc, ok := s.st.DiskCounters(); ok {
+	if dc := stats.Disk; stats.DiskEnabled {
 		gauge("zatel_store_disk_enabled", 1, "1 when a disk tier is attached")
 		gauge("zatel_store_disk_degraded", boolGauge(dc.State == store.DiskDegraded.String()), "1 while the disk tier sheds writes (memory-only)")
 		counter("zatel_store_disk_hits_total", dc.Hits, "lookups served from the disk tier")
@@ -365,6 +417,34 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		gauge("zatel_store_disk_max_bytes", dc.MaxBytes, "disk byte budget (0 = unbounded)")
 	} else {
 		gauge("zatel_store_disk_enabled", 0, "1 when a disk tier is attached")
+	}
+
+	// Cluster tier. Fetch outcomes are disjoint (hits + misses + errors +
+	// rejects == fetches issued); the store-level peer counters above
+	// (zatel_store_peer_*) count the same events from the tier chain's
+	// point of view and include self-owned/unhealthy-skipped consultations
+	// as misses.
+	counter("zatel_store_peer_hits_total", c.PeerHits, "lookups served from the peer tier")
+	counter("zatel_store_peer_misses_total", c.PeerMisses, "peer-tier consultations that returned nothing")
+	if cl := s.cfg.Cluster; cl != nil && stats.PeerEnabled {
+		pc := stats.Peer
+		gauge("zatel_cluster_enabled", 1, "1 when this node is part of a fleet")
+		gauge("zatel_cluster_peers", int64(pc.Peers), "fleet size including this node")
+		gauge("zatel_cluster_peers_healthy", int64(pc.Healthy), "peers currently considered reachable (self included)")
+		counter("zatel_cluster_fetch_hits_total", pc.Hits, "peer artifact fetches that returned a verified artifact")
+		counter("zatel_cluster_fetch_misses_total", pc.Misses, "peer artifact fetches the owner 404ed")
+		counter("zatel_cluster_fetch_errors_total", pc.Errors, "peer artifact fetches that failed in transport")
+		counter("zatel_cluster_fetch_rejects_total", pc.Rejects, "peer artifacts rejected by frame verification or codec decode")
+		counter("zatel_cluster_fetch_skipped_total", pc.Skipped, "peer fetches skipped because the owner was unhealthy")
+		counter("zatel_cluster_proxied_total", pc.Proxied, "predict requests forwarded to the owning peer")
+		counter("zatel_cluster_proxy_errors_total", pc.ProxyErrors, "forwards that failed and fell back to a local build")
+		counter("zatel_cluster_local_fallbacks_total", pc.LocalFallbacks, "predicts built locally because the owner was unavailable")
+		fmt.Fprintf(w, "# HELP zatel_cluster_fetch_seconds latency of successful peer artifact fetches\n# TYPE zatel_cluster_fetch_seconds histogram\n")
+		cl.FetchLatency().WriteProm(w, "zatel_cluster_fetch_seconds", "")
+		fmt.Fprintf(w, "# HELP zatel_cluster_proxy_seconds latency of successful forwarded predict requests\n# TYPE zatel_cluster_proxy_seconds histogram\n")
+		cl.ProxyLatency().WriteProm(w, "zatel_cluster_proxy_seconds", "")
+	} else {
+		gauge("zatel_cluster_enabled", 0, "1 when this node is part of a fleet")
 	}
 
 	gauge("zatel_predict_running", s.running.Load(), "predictions building now")
@@ -392,22 +472,22 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.reqMu.Unlock()
 
 	fmt.Fprintf(w, "# HELP zatel_stage_latency_seconds per-stage latency\n# TYPE zatel_stage_latency_seconds histogram\n")
-	s.histRequest.writeProm(w, "zatel_stage_latency_seconds", `stage="request"`)
-	s.histBuild.writeProm(w, "zatel_stage_latency_seconds", `stage="build"`)
-	s.histWait.writeProm(w, "zatel_stage_latency_seconds", `stage="admission_wait"`)
+	s.histRequest.WriteProm(w, "zatel_stage_latency_seconds", `stage="request"`)
+	s.histBuild.WriteProm(w, "zatel_stage_latency_seconds", `stage="build"`)
+	s.histWait.WriteProm(w, "zatel_stage_latency_seconds", `stage="admission_wait"`)
 
 	// Prediction quality: the worst relative CI half-width across metrics
 	// of every served replicated (stratified/rankedset) prediction. The
 	// bucket bounds are reused from the latency histograms and read as
 	// unitless ratios here (0.05 = ±5%).
 	fmt.Fprintf(w, "# HELP zatel_ci_halfwidth worst relative confidence-interval half-width of served replicated predictions\n# TYPE zatel_ci_halfwidth histogram\n")
-	s.histCI.writeProm(w, "zatel_ci_halfwidth", `kind="relative"`)
+	s.histCI.WriteProm(w, "zatel_ci_halfwidth", `kind="relative"`)
 
 	// Per-pipeline-step latencies, one series per step span of DESIGN.md's
 	// taxonomy, fed from the tracer of each request that ran a build.
 	fmt.Fprintf(w, "# HELP zatel_step_latency_seconds per-pipeline-step latency of cold builds\n# TYPE zatel_step_latency_seconds histogram\n")
 	for _, name := range core.StepSpanNames {
-		s.histStep[name].writeProm(w, "zatel_step_latency_seconds", fmt.Sprintf("step=%q", name))
+		s.histStep[name].WriteProm(w, "zatel_step_latency_seconds", fmt.Sprintf("step=%q", name))
 	}
 
 	// Process-wide registry: runner pool occupancy/retries and core

@@ -395,6 +395,34 @@ func (d *Disk) Get(key Digest) (any, int64, bool) {
 	return v, size, true
 }
 
+// ReadFramed returns the raw framed bytes of key's entry after full
+// verification (header and payload checksum), for serving to cluster peers
+// without a decode/re-encode round trip. Corruption quarantines exactly
+// like Get; hit/miss counters are untouched — peer serves are not local
+// lookups and are counted by the HTTP handler instead.
+func (d *Disk) ReadFramed(key Digest) ([]byte, bool) {
+	d.mu.Lock()
+	_, ok := d.items[key]
+	d.mu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	data, err := d.fsys.ReadFile(d.entryPath(key))
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			d.dropIndexEntry(key)
+		} else {
+			d.readErrors.Add(1)
+		}
+		return nil, false
+	}
+	if _, _, err := parseDiskEntry(data); err != nil {
+		d.quarantine(key, err)
+		return nil, false
+	}
+	return data, true
+}
+
 // Put queues the artifact for write-behind persistence. It never blocks:
 // with the tier degraded or the queue full the write is shed (the artifact
 // stays memory-resident; a later rebuild re-queues it). Values no codec

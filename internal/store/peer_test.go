@@ -1,0 +1,222 @@
+package store
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakePeers scripts the peer tier: it serves the keys in have and counts
+// every consultation.
+type fakePeers struct {
+	have    map[Digest]string
+	fetches atomic.Int64
+}
+
+func (f *fakePeers) Fetch(ctx context.Context, key Digest) (any, int64, bool) {
+	f.fetches.Add(1)
+	if v, ok := f.have[key]; ok {
+		return v, int64(len(v)), true
+	}
+	return nil, 0, false
+}
+
+func (f *fakePeers) Counters() PeerCounters {
+	return PeerCounters{Peers: 2, Healthy: 2, Fetches: uint64(f.fetches.Load())}
+}
+
+func TestGetOrBuildPeerHit(t *testing.T) {
+	s := New(0)
+	ctx := context.Background()
+	k := key(1)
+	peers := &fakePeers{have: map[Digest]string{k: "from the owner"}}
+	s.AttachPeers(peers)
+
+	v, out, err := s.GetOrBuild(ctx, k, func(context.Context) (any, int64, error) {
+		t.Fatal("build ran though the peer had the artifact")
+		return nil, 0, nil
+	})
+	if err != nil || out != PeerHit || v.(string) != "from the owner" {
+		t.Fatalf("peer-backed call: %v %v %v", v, out, err)
+	}
+	if out.String() != "peer" {
+		t.Errorf("PeerHit.String() = %q, want \"peer\"", out.String())
+	}
+	// The hit was promoted: the next lookup is a memory hit, no peer call.
+	v, out, err = s.GetOrBuild(ctx, k, constBuild(nil, 0))
+	if err != nil || out != Hit || v.(string) != "from the owner" {
+		t.Fatalf("post-promotion call: %v %v %v", v, out, err)
+	}
+	if n := peers.fetches.Load(); n != 1 {
+		t.Errorf("peer consulted %d times, want 1 (promotion failed?)", n)
+	}
+	c := s.Snapshot()
+	if c.PeerHits != 1 || c.Builds != 0 {
+		t.Errorf("counters = %+v, want PeerHits=1 Builds=0", c)
+	}
+}
+
+func TestGetOrBuildPeerMissBuilds(t *testing.T) {
+	s := New(0)
+	ctx := context.Background()
+	peers := &fakePeers{} // has nothing
+	s.AttachPeers(peers)
+
+	v, out, err := s.GetOrBuild(ctx, key(2), constBuild("built locally", 13))
+	if err != nil || out != Miss || v.(string) != "built locally" {
+		t.Fatalf("peer miss did not degrade to a build: %v %v %v", v, out, err)
+	}
+	if peers.fetches.Load() != 1 {
+		t.Errorf("peer consulted %d times, want 1", peers.fetches.Load())
+	}
+	c := s.Snapshot()
+	if c.PeerMisses != 1 || c.Builds != 1 {
+		t.Errorf("counters = %+v, want PeerMisses=1 Builds=1", c)
+	}
+}
+
+// TestPeerConsultedAfterDisk pins the tier order: a disk-resident artifact
+// never reaches the peer tier.
+func TestPeerConsultedAfterDisk(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+	k := key(7)
+
+	// Build once so the artifact lands on disk, then "restart": a fresh
+	// memory store over the same directory, this time with a peer tier.
+	st := New(0)
+	st.AttachDisk(openTestDisk(t, DiskConfig{Dir: dir}))
+	if _, _, err := st.GetOrBuild(ctx, k, blobBuild(7, 64, nil)); err != nil {
+		t.Fatal(err)
+	}
+	d := st.Disk()
+	d.Flush()
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2 := New(0)
+	st2.AttachDisk(openTestDisk(t, DiskConfig{Dir: dir}))
+	peers := &fakePeers{}
+	st2.AttachPeers(peers)
+	_, out, err := st2.GetOrBuild(ctx, k, func(context.Context) (any, int64, error) {
+		t.Fatal("build ran though disk had the artifact")
+		return nil, 0, nil
+	})
+	if err != nil || out != DiskHit {
+		t.Fatalf("disk-backed call: %v %v", out, err)
+	}
+	if peers.fetches.Load() != 0 {
+		t.Errorf("peer consulted %d times for a disk-resident key, want 0", peers.fetches.Load())
+	}
+}
+
+func TestTryGetOutcomes(t *testing.T) {
+	s := New(0)
+	ctx := context.Background()
+	k1, k2, k3 := key(1), key(2), key(3)
+	peers := &fakePeers{have: map[Digest]string{k2: "peer copy"}}
+	s.AttachPeers(peers)
+
+	// Memory hit.
+	if _, _, err := s.GetOrBuild(ctx, k1, constBuild("resident", 8)); err != nil {
+		t.Fatal(err)
+	}
+	if v, out, ok := s.TryGet(ctx, k1); !ok || out != Hit || v.(string) != "resident" {
+		t.Fatalf("TryGet(resident) = %v %v %v", v, out, ok)
+	}
+	// Peer hit, promoted.
+	if v, out, ok := s.TryGet(ctx, k2); !ok || out != PeerHit || v.(string) != "peer copy" {
+		t.Fatalf("TryGet(peer) = %v %v %v", v, out, ok)
+	}
+	if v, out, ok := s.TryGet(ctx, k2); !ok || out != Hit || v.(string) != "peer copy" {
+		t.Fatalf("TryGet after promotion = %v %v %v", v, out, ok)
+	}
+	// Fleet-wide miss: no build, ok=false.
+	if _, _, ok := s.TryGet(ctx, k3); ok {
+		t.Fatal("TryGet(miss) = true")
+	}
+	c := s.Snapshot()
+	if c.Builds != 1 {
+		t.Errorf("TryGet ran a build: %+v", c)
+	}
+}
+
+func TestTryGetJoinsInflightBuild(t *testing.T) {
+	s := New(0)
+	ctx := context.Background()
+	k := key(1)
+	started := make(chan struct{})
+	release := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		s.GetOrBuild(ctx, k, func(context.Context) (any, int64, error) {
+			close(started)
+			<-release
+			return "slow build", 10, nil
+		})
+	}()
+	<-started
+	got := make(chan string, 1)
+	go func() {
+		v, out, ok := s.TryGet(ctx, k)
+		if !ok || out != Coalesced {
+			got <- fmt.Sprintf("bad outcome %v ok=%v", out, ok)
+			return
+		}
+		got <- v.(string)
+	}()
+	// TryGet bumps the coalesced counter before waiting on the flight;
+	// release the build only once it has demonstrably joined.
+	for s.Snapshot().Coalesced == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	if v := <-got; v != "slow build" {
+		t.Fatalf("TryGet joined in-flight build, got %q", v)
+	}
+	<-done
+}
+
+// TestStatsMatchesSnapshot: the unified Stats call and the individual
+// snapshots must agree — /healthz and /metrics read through Stats so they
+// can never disagree about which tiers exist.
+func TestStatsMatchesSnapshot(t *testing.T) {
+	s := New(0)
+	ctx := context.Background()
+	st := s.Stats()
+	if st.DiskEnabled || st.PeerEnabled {
+		t.Fatalf("bare store reports tiers: %+v", st)
+	}
+
+	k := key(1)
+	peers := &fakePeers{have: map[Digest]string{k: "x"}}
+	s.AttachPeers(peers)
+	if _, _, err := s.GetOrBuild(ctx, k, constBuild(nil, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.GetOrBuild(ctx, key(9), constBuild("y", 1)); err != nil {
+		t.Fatal(err)
+	}
+
+	st = s.Stats()
+	if !st.PeerEnabled {
+		t.Fatal("peer tier attached but PeerEnabled = false")
+	}
+	if st.Mem != s.Snapshot() {
+		t.Errorf("Stats.Mem %+v != Snapshot %+v", st.Mem, s.Snapshot())
+	}
+	if st.Mem.PeerHits != 1 || st.Mem.PeerMisses != 1 {
+		t.Errorf("peer outcome counters = %+v", st.Mem)
+	}
+	if pc, _ := s.PeerCounters(); st.Peer != pc {
+		t.Errorf("Stats.Peer %+v != PeerCounters %+v", st.Peer, pc)
+	}
+	s.AttachPeers(nil)
+	if st = s.Stats(); st.PeerEnabled {
+		t.Error("detached peer tier still reported enabled")
+	}
+}

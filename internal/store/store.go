@@ -28,9 +28,14 @@ const (
 	// DiskHit: the artifact was loaded (and integrity-verified) from the
 	// disk tier instead of being rebuilt, and is now memory-resident.
 	DiskHit
+	// PeerHit: the artifact was fetched (and integrity-verified) from the
+	// owning cluster peer instead of being rebuilt, and is now resident in
+	// the local memory and disk tiers.
+	PeerHit
 )
 
-// String implements fmt.Stringer ("miss", "hit", "coalesced", "disk").
+// String implements fmt.Stringer ("miss", "hit", "coalesced", "disk",
+// "peer").
 func (o Outcome) String() string {
 	switch o {
 	case Hit:
@@ -39,6 +44,8 @@ func (o Outcome) String() string {
 		return "coalesced"
 	case DiskHit:
 		return "disk"
+	case PeerHit:
+		return "peer"
 	default:
 		return "miss"
 	}
@@ -63,6 +70,10 @@ type Counters struct {
 	// DiskHits counts lookups served from the disk tier (also reflected in
 	// the disk tier's own counters).
 	DiskHits uint64
+	// PeerHits counts lookups served from the peer tier; PeerMisses the
+	// peer consultations that came back empty (the fetcher's own counters
+	// break the misses down by cause).
+	PeerHits, PeerMisses uint64
 	// Inflight is the number of builds currently executing.
 	Inflight int
 	// Entries and Bytes describe current residency; MaxBytes is the budget
@@ -100,10 +111,15 @@ type Store struct {
 	hits, misses, coalesced uint64
 	builds, buildErrors     uint64
 	evictions, diskHits     uint64
+	peerHits, peerMisses    uint64
 
 	// disk is the optional persistent second tier (nil = memory-only).
 	// Atomic so AttachDisk is safe against concurrent GetOrBuild.
 	disk atomic.Pointer[Disk]
+	// peers is the optional third tier: the cluster peer fetcher (nil =
+	// single-node). Atomic so AttachPeers is safe against concurrent
+	// GetOrBuild.
+	peers atomic.Pointer[peerTier]
 }
 
 // New returns an empty store that evicts least-recently-used artifacts once
@@ -198,6 +214,26 @@ func (s *Store) GetOrBuild(ctx context.Context, key Digest, build func(ctx conte
 			sp.End()
 			return v, DiskHit, nil
 		}
+	}
+
+	// Peer tier: after disk, before building — an artifact any fleet member
+	// already built is fetched by digest, integrity-verified and promoted,
+	// exactly once per flight. Peer failure of any kind falls through to the
+	// local build below; the fleet degrading never surfaces as an error.
+	if v, size, ok := s.fetchPeer(ctx, key); ok {
+		s.mu.Lock()
+		delete(s.inflight, key)
+		s.insertLocked(key, v, size)
+		s.mu.Unlock()
+		f.value = v
+		close(f.done)
+		_, sp := obs.StartSpan(ctx, "store.peerhit")
+		sp.SetAttr("key", key.Short())
+		sp.End()
+		if d := s.disk.Load(); d != nil {
+			d.Put(key, v)
+		}
+		return v, PeerHit, nil
 	}
 
 	s.mu.Lock()
@@ -338,6 +374,8 @@ func (s *Store) Snapshot() Counters {
 		BuildErrors: s.buildErrors,
 		Evictions:   s.evictions,
 		DiskHits:    s.diskHits,
+		PeerHits:    s.peerHits,
+		PeerMisses:  s.peerMisses,
 		Inflight:    len(s.inflight),
 		Entries:     s.ll.Len(),
 		Bytes:       s.bytes,

@@ -12,4 +12,6 @@ ZATEL_BENCH_SAMPLING_JSON=/root/repo/BENCH_sampling.json go test -run 'TestAdapt
 echo "BENCH_SAMPLING_EXIT=$?" >> /root/repo/bench_sampling_output.txt
 ZATEL_BENCH_DISK_JSON=/root/repo/BENCH_disk.json go test -run 'TestDiskWarmSpeedup' -count=1 -timeout 10m . > /root/repo/bench_disk_output.txt 2>&1
 echo "BENCH_DISK_EXIT=$?" >> /root/repo/bench_disk_output.txt
+ZATEL_BENCH_CLUSTER_JSON=/root/repo/BENCH_cluster.json go test -run 'TestClusterFetchSpeedup' -count=1 -timeout 10m . > /root/repo/bench_cluster_output.txt 2>&1
+echo "BENCH_CLUSTER_EXIT=$?" >> /root/repo/bench_cluster_output.txt
 touch /root/repo/.capture_done
